@@ -1,0 +1,21 @@
+// bench_common.hpp — shared scaffolding for the experiment binaries.
+//
+// Every experiment binary regenerates one table/figure of EXPERIMENTS.md:
+// it prints a Table (rows = instances or sweep points), appends PASS/FAIL
+// verdicts for the paper's qualitative predictions, and exits nonzero if a
+// verdict failed so the bench loop doubles as a regression gate.
+#pragma once
+
+#include <iostream>
+
+#include "util/table.hpp"
+
+namespace stosched::bench {
+
+/// Print the table and return the process exit code.
+inline int finish(const Table& table) {
+  table.print(std::cout);
+  return table.all_checks_passed() ? 0 : 1;
+}
+
+}  // namespace stosched::bench

@@ -1,0 +1,91 @@
+// F1 — turnpike optimality of Smith's rule on parallel machines [46]:
+// the WSEPT heuristic's absolute suboptimality gap stays bounded as the
+// batch grows, so its *relative* gap vanishes.
+//
+// Two panels: (a) exact panel — small exponential instances where the DP
+// optimum is computable: gap(WSEPT) vs n stays flat; (b) scaling panel —
+// large batches where WSEPT is compared against the Eastman–Even–Isaacs
+// style lower bound; relative gap -> 0.
+#include <cmath>
+
+#include "batch/job.hpp"
+#include "batch/parallel_machines.hpp"
+#include "batch/single_machine.hpp"
+#include "batch/subset_dp.hpp"
+#include "bench_common.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace stosched;
+using namespace stosched::batch;
+
+int main() {
+  const unsigned m = 3;
+  Rng master(4242);
+
+  // Panel (a): exact absolute gaps on exponential instances.
+  Table exact("F1a: WSEPT absolute gap vs DP optimum (m=3, exponential)");
+  exact.columns({"n", "WSEPT (exact)", "OPT (DP)", "abs gap", "rel gap"});
+  double first_gap = 0.0, last_gap = 0.0;
+  for (const std::size_t n : {4u, 6u, 8u, 10u, 12u}) {
+    Rng rng = master.stream(n);
+    std::vector<ExpJob> jobs(n);
+    Batch batch;
+    for (auto& j : jobs) {
+      j.rate = rng.uniform(0.4, 2.5);
+      j.weight = rng.uniform(0.5, 2.0);
+      batch.push_back({j.weight, exponential_dist(j.rate)});
+    }
+    std::vector<std::size_t> priority = wsept_order(batch);
+    const double wsept =
+        exp_dp_priority(jobs, m, ExpObjective::kWeightedFlowtime, priority);
+    const double opt = exp_dp_optimal(jobs, m, ExpObjective::kWeightedFlowtime);
+    const double gap = wsept - opt;
+    if (n == 4) first_gap = gap;
+    last_gap = gap;
+    exact.add_row({std::to_string(n), fmt(wsept), fmt(opt), fmt(gap, 5),
+                   fmt_pct(gap / opt)});
+  }
+  exact.note("absolute gap does not grow with n (turnpike property)");
+  exact.verdict(last_gap < std::max(0.25, 4.0 * first_gap + 0.2),
+                "absolute gap stays bounded as n grows");
+  exact.print(std::cout);
+
+  // Panel (b): large-n relative gap against the *fast-single-machine*
+  // relaxation: a speed-m machine can processor-share the <= m jobs any
+  // m-machine policy runs, reproducing its completion times exactly, so the
+  // fast machine's preemptive optimum lower-bounds every m-machine policy;
+  // with exponential jobs that optimum is the WSEPT index policy, whose
+  // value is the exact single-machine WSEPT objective divided by m.
+  Table scale("F1b: WSEPT vs fast-machine relaxation, relative gap -> 0 (m=3)");
+  scale.columns({"n", "WSEPT (sim)", "lower bound (exact)", "rel gap"});
+  double last_rel = 1.0;
+  bool decreasing = true;
+  double prev_rel = 1e9;
+  for (const std::size_t n : {20u, 50u, 100u, 300u, 1000u}) {
+    Rng rng = master.stream(1000 + n);
+    Batch batch;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double mean = rng.uniform(0.5, 4.0);
+      batch.push_back({rng.uniform(0.5, 3.0), exponential_dist(1.0 / mean)});
+    }
+    const Order order = wsept_order(batch);
+    const auto stat =
+        monte_carlo(3000, 9, [&](std::size_t, Rng& r) {
+          return simulate_list_policy(batch, order, m, r).weighted_flowtime;
+        });
+    const double lb = exact_weighted_flowtime(batch, order) / m;
+    const double rel = stat.mean() / lb - 1.0;
+    decreasing = decreasing && rel < prev_rel + 0.005;
+    prev_rel = rel;
+    last_rel = rel;
+    scale.add_row({std::to_string(n), fmt(stat.mean(), 1), fmt(lb, 1),
+                   fmt_pct(rel)});
+  }
+  scale.note("relative gap vanishing == asymptotic optimality of Smith's rule");
+  scale.verdict(decreasing && last_rel < 0.02,
+                "relative gap decreases toward 0 as n grows");
+  scale.print(std::cout);
+  return exact.all_checks_passed() && scale.all_checks_passed() ? 0 : 1;
+}

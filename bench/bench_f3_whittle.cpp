@@ -1,0 +1,84 @@
+// F3 — Whittle's index heuristic for restless bandits [48] and its
+// asymptotic optimality as N -> infinity with m/N fixed (Weber–Weiss [44]).
+//
+// Symmetric instances: N copies of an indexable project, activate N/4 per
+// epoch. Series: per-project reward of Whittle vs myopic vs the relaxation
+// upper bound. Prediction: Whittle's gap to the bound shrinks with N;
+// myopic's does not.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "restless/relaxation.hpp"
+#include "restless/restless_project.hpp"
+#include "restless/restless_sim.hpp"
+#include "restless/whittle.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace stosched;
+using namespace stosched::restless;
+
+int main() {
+  Table table("F3: restless bandits, m/N = 1/4 — Whittle index [48,44]");
+  table.columns({"N", "Whittle/proj", "myopic/proj", "bound/proj",
+                 "Whittle gap", "myopic gap"});
+
+  // A hand-built indexable project with distinct active/passive dynamics:
+  // active work improves the state; passivity lets it decay. The activation
+  // budget binds (the relaxation bound is not trivially attainable), so the
+  // Weber-Weiss gap has room to shrink with N.
+  RestlessProject proto;
+  proto.reward_passive = {0.0, 0.0, 0.0, 0.0};
+  proto.reward_active = {0.1, 0.4, 0.7, 1.0};
+  proto.trans_active = {{0.1, 0.6, 0.2, 0.1},
+                        {0.05, 0.15, 0.6, 0.2},
+                        {0.05, 0.1, 0.25, 0.6},
+                        {0.05, 0.1, 0.15, 0.7}};
+  proto.trans_passive = {{0.9, 0.1, 0.0, 0.0},
+                         {0.5, 0.4, 0.1, 0.0},
+                         {0.2, 0.5, 0.25, 0.05},
+                         {0.1, 0.3, 0.4, 0.2}};
+
+  const auto w = whittle_index(proto);
+  if (!w.indexable) {
+    Table fail("F3: prototype unexpectedly non-indexable");
+    fail.columns({"status"});
+    fail.add_row({"non-indexable"});
+    fail.verdict(false, "prototype must be indexable");
+    return stosched::bench::finish(fail);
+  }
+  const auto myo = myopic_index(proto);
+
+  double first_gap = 0.0, last_gap = 0.0, last_myopic_gap = 0.0;
+  for (const std::size_t n : {4u, 8u, 16u, 32u, 64u}) {
+    const std::size_t m = n / 4;
+    const auto inst = symmetric_instance(proto, n, m);
+    const double bound =
+        solve_relaxation_symmetric(proto, n, m).bound / n;
+
+    PriorityTable wt(n, w.index), mt(n, myo);
+    Rng r1(100 + n), r2(200 + n);
+    const double whittle =
+        simulate_priority_policy(inst, wt, 60000, 6000, r1) / n;
+    const double myopic =
+        simulate_priority_policy(inst, mt, 60000, 6000, r2) / n;
+
+    const double wgap = (bound - whittle) / bound;
+    const double mgap = (bound - myopic) / bound;
+    if (n == 4) first_gap = wgap;
+    last_gap = wgap;
+    last_myopic_gap = mgap;
+    table.add_row({std::to_string(n), fmt(whittle, 4), fmt(myopic, 4),
+                   fmt(bound, 4), fmt_pct(wgap), fmt_pct(mgap)});
+  }
+  table.note("bound = Whittle LP relaxation (valid upper bound per project)");
+  table.verdict(last_gap < first_gap,
+                "Whittle gap to the relaxation shrinks with N (Weber-Weiss)");
+  table.verdict(last_gap < 0.05, "Whittle within 5% of the bound at N=64");
+  // On *symmetric monotone* instances myopic is known to be competitive;
+  // the defensible claim here is non-inferiority (the strict separation is
+  // exercised on heterogeneous instances in T7/T8).
+  table.verdict(last_gap < last_myopic_gap + 0.01,
+                "Whittle not beaten by myopic beyond noise at large N");
+  return stosched::bench::finish(table);
+}

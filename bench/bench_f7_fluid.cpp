@@ -1,0 +1,93 @@
+// F7 — fluid approximations of multiclass queues [11, 3]: the scaled
+// stochastic backlog under a priority rule tracks the fluid trajectory
+// (functional LLN), and the fluid cost ranking of policies predicts the
+// stochastic ranking — the premise of fluid-model scheduling heuristics.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "queueing/fluid.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace stosched;
+using namespace stosched::queueing;
+
+int main() {
+  Table table("F7: fluid limit of a 2-class priority queue [11,3]");
+  table.columns({"t / T_drain", "fluid q1", "fluid q2", "sim q1/n (n=400)",
+                 "sim q2/n (n=400)", "max dev"});
+
+  const std::vector<FluidClass> classes{{0.3, 1.0, 2.0}, {0.2, 0.8, 1.0}};
+  const auto priority = fluid_cmu_priority(classes);
+  const std::vector<double> q0{1.0, 1.5};
+  const auto fluid = fluid_drain(classes, q0, priority);
+  const double scale = 400.0;
+
+  std::vector<double> sample_times;
+  for (int i = 1; i <= 8; ++i)
+    sample_times.push_back(fluid.drain_time * i / 10.0 * scale);
+
+  // Average several scaled sample paths.
+  const std::size_t reps = 40;
+  std::vector<std::vector<double>> mean_path(sample_times.size(),
+                                             std::vector<double>(2, 0.0));
+  Rng master(7);
+  for (std::size_t r = 0; r < reps; ++r) {
+    Rng rng = master.stream(r);
+    const auto path = simulate_backlog_path(
+        classes, {static_cast<std::size_t>(scale * q0[0]),
+                  static_cast<std::size_t>(scale * q0[1])},
+        priority, sample_times, rng);
+    for (std::size_t i = 0; i < sample_times.size(); ++i)
+      for (std::size_t j = 0; j < 2; ++j)
+        mean_path[i][j] += path[i][j] / (scale * reps);
+  }
+
+  double worst_dev = 0.0;
+  for (std::size_t i = 0; i < sample_times.size(); ++i) {
+    const auto f = fluid.at(sample_times[i] / scale);
+    double dev = 0.0;
+    for (std::size_t j = 0; j < 2; ++j)
+      dev = std::max(dev, std::abs(mean_path[i][j] - f[j]));
+    worst_dev = std::max(worst_dev, dev);
+    table.add_row({fmt(0.1 * (i + 1), 1), fmt(f[0], 3), fmt(f[1], 3),
+                   fmt(mean_path[i][0], 3), fmt(mean_path[i][1], 3),
+                   fmt(dev, 3)});
+  }
+
+  // Policy ranking: fluid cost integral vs stochastic cost integral for the
+  // cµ order and its reverse.
+  std::vector<std::size_t> reverse(priority.rbegin(), priority.rend());
+  const double fluid_good = fluid.cost_integral;
+  const double fluid_bad =
+      fluid_drain(classes, q0, reverse).cost_integral;
+  auto stochastic_cost = [&](const std::vector<std::size_t>& prio) {
+    const auto stat = monte_carlo(40, 99, [&](std::size_t, Rng& r) {
+      std::vector<double> times;
+      const double t_end = 2.0 * fluid.drain_time * scale;
+      for (int i = 1; i <= 60; ++i) times.push_back(t_end * i / 60.0);
+      const auto path = simulate_backlog_path(
+          classes, {static_cast<std::size_t>(scale * q0[0]),
+                    static_cast<std::size_t>(scale * q0[1])},
+          prio, times, r);
+      double cost = 0.0;
+      for (std::size_t i = 0; i < times.size(); ++i)
+        cost += (classes[0].cost * path[i][0] + classes[1].cost * path[i][1]) *
+                (t_end / 60.0);
+      return cost / (scale * scale);  // fluid scaling of the cost integral
+    });
+    return stat.mean();
+  };
+  const double sto_good = stochastic_cost(priority);
+  const double sto_bad = stochastic_cost(reverse);
+
+  table.note("fluid ranking: cmu " + fmt(fluid_good, 2) + " < reverse " +
+             fmt(fluid_bad, 2) + "; stochastic: " + fmt(sto_good, 2) + " vs " +
+             fmt(sto_bad, 2));
+  table.verdict(worst_dev < 0.12,
+                "scaled sample paths track the fluid trajectory (FLLN)");
+  table.verdict(fluid_good < fluid_bad && sto_good < sto_bad,
+                "fluid cost ranking predicts the stochastic ranking");
+  return stosched::bench::finish(table);
+}

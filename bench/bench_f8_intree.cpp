@@ -1,0 +1,58 @@
+// F8 — in-tree precedence constraints on parallel machines [31]:
+// Highest-Level-First is asymptotically optimal for expected makespan with
+// i.i.d. exponential tasks. We track the HLF-to-lower-bound ratio as the
+// tree grows (LB = max(total work / m, depth * mean)), plus the greedy
+// FIFO-eligible baseline.
+#include <algorithm>
+
+#include "batch/precedence.hpp"
+#include "bench_common.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace stosched;
+using namespace stosched::batch;
+
+int main() {
+  Table table("F8: in-tree precedence, m=3 — HLF vs lower bound [31]");
+  table.columns({"n", "depth", "HLF makespan", "FIFO makespan", "LB",
+                 "HLF/LB"});
+
+  const unsigned m = 3;
+  const double rate = 1.0;
+  Rng master(1234);
+  double first_ratio = 0.0, last_ratio = 0.0;
+  bool hlf_dominates = true;
+  for (const std::size_t n : {20u, 50u, 100u, 250u, 600u}) {
+    Rng tree_rng = master.stream(n);
+    const InTree tree = random_in_tree(n, tree_rng);
+    const double depth = static_cast<double>(tree_depth(tree));
+
+    const auto hlf = monte_carlo(400, n, [&](std::size_t, Rng& r) {
+      return simulate_tree_makespan(tree, m, rate,
+                                    TreePolicy::kHighestLevelFirst, r);
+    });
+    const auto fifo = monte_carlo(400, n, [&](std::size_t, Rng& r) {
+      return simulate_tree_makespan(tree, m, rate, TreePolicy::kFifoEligible,
+                                    r);
+    });
+    const double lb =
+        std::max(static_cast<double>(n) / (m * rate), depth / rate);
+    const double ratio = hlf.mean() / lb;
+    if (n == 20) first_ratio = ratio;
+    last_ratio = ratio;
+    hlf_dominates =
+        hlf_dominates && hlf.mean() <= fifo.mean() + 2.0 * (hlf.sem() + fifo.sem());
+
+    table.add_row({std::to_string(n), fmt(depth, 0), fmt_ci(hlf.mean(), hlf.ci_halfwidth(), 2),
+                   fmt_ci(fifo.mean(), fifo.ci_halfwidth(), 2), fmt(lb, 2),
+                   fmt(ratio, 3)});
+  }
+  table.note("LB = max(work/m, depth*mean); ratio -> 1 is asymptotic optimality");
+  table.verdict(last_ratio < first_ratio,
+                "HLF/LB ratio shrinks as the tree grows");
+  table.verdict(last_ratio < 1.35, "HLF within 35% of the crude LB at n=600");
+  table.verdict(hlf_dominates, "HLF never loses to FIFO-eligible");
+  return stosched::bench::finish(table);
+}

@@ -1,0 +1,46 @@
+// Micro: discrete-event core — hold-model throughput of the future-event
+// set at different heap arities (the ablation DESIGN.md calls out) and
+// sizes. The hold model (pop one, push one) is the classical FES benchmark.
+#include <benchmark/benchmark.h>
+
+#include "des/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+template <unsigned Arity>
+void bm_hold_model(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  stosched::DaryEventHeap<Arity> heap;
+  stosched::Rng rng(42);
+  for (std::size_t i = 0; i < size; ++i)
+    heap.push(rng.uniform(0.0, 100.0), 0);
+  for (auto _ : state) {
+    const stosched::Event e = heap.pop();
+    heap.push(e.time + rng.exponential(1.0), 0);
+    benchmark::DoNotOptimize(heap.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void bm_hold_binary(benchmark::State& s) { bm_hold_model<2>(s); }
+void bm_hold_quad(benchmark::State& s) { bm_hold_model<4>(s); }
+void bm_hold_octal(benchmark::State& s) { bm_hold_model<8>(s); }
+
+BENCHMARK(bm_hold_binary)->Arg(64)->Arg(1024)->Arg(16384);
+BENCHMARK(bm_hold_quad)->Arg(64)->Arg(1024)->Arg(16384);
+BENCHMARK(bm_hold_octal)->Arg(64)->Arg(1024)->Arg(16384);
+
+void bm_rng_uniform(benchmark::State& state) {
+  stosched::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.uniform());
+}
+BENCHMARK(bm_rng_uniform);
+
+void bm_rng_exponential(benchmark::State& state) {
+  stosched::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.exponential(1.0));
+}
+BENCHMARK(bm_rng_exponential);
+
+}  // namespace

@@ -1,0 +1,46 @@
+// Micro: the dense simplex on the library's two real LP shapes — random
+// box-bounded LPs and the restless-bandit occupation-measure relaxation.
+#include <benchmark/benchmark.h>
+
+#include "lp/simplex.hpp"
+#include "restless/relaxation.hpp"
+#include "restless/restless_project.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void bm_simplex_random(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = n;
+  stosched::Rng rng(3);
+  std::vector<double> costs(n);
+  for (auto& c : costs) c = rng.uniform(0.0, 1.0);
+  auto p = stosched::lp::Problem::maximize(costs);
+  for (std::size_t i = 0; i < m; ++i) {
+    std::vector<double> row(n);
+    for (auto& a : row) a = rng.uniform(0.0, 1.0);
+    p.subject_to(row, stosched::lp::Sense::kLe, rng.uniform(1.0, 4.0));
+  }
+  for (auto _ : state) {
+    const auto s = stosched::lp::solve(p);
+    benchmark::DoNotOptimize(s.objective);
+  }
+}
+BENCHMARK(bm_simplex_random)->Arg(10)->Arg(30)->Arg(60);
+
+void bm_whittle_relaxation(benchmark::State& state) {
+  const auto projects = static_cast<std::size_t>(state.range(0));
+  stosched::Rng rng(5);
+  stosched::restless::RestlessInstance inst;
+  inst.activate = std::max<std::size_t>(1, projects / 4);
+  for (std::size_t j = 0; j < projects; ++j)
+    inst.projects.push_back(
+        stosched::restless::random_restless_project(4, rng));
+  for (auto _ : state) {
+    const auto r = stosched::restless::solve_relaxation(inst);
+    benchmark::DoNotOptimize(r.bound);
+  }
+}
+BENCHMARK(bm_whittle_relaxation)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace

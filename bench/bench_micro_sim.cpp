@@ -1,0 +1,62 @@
+// Micro: end-to-end simulator throughput — multiclass M/G/1 events per
+// second under each discipline, and the Lu-Kumar network. Establishes the
+// cost of one simulated time unit, which sizes every experiment above.
+#include <benchmark/benchmark.h>
+
+#include "queueing/mg1.hpp"
+#include "queueing/network.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace stosched;
+using namespace stosched::queueing;
+
+std::vector<ClassSpec> classes3() {
+  return {{0.25, exponential_dist(1.0), 1.0},
+          {0.2, erlang_dist(2, 3.0), 2.0},
+          {0.15, hyperexp2_dist(1.2, 3.0), 0.5}};
+}
+
+void bm_mg1(benchmark::State& state, Discipline d) {
+  const auto classes = classes3();
+  SimOptions opt;
+  opt.discipline = d;
+  if (d != Discipline::kFcfs) opt.priority = {1, 0, 2};
+  opt.horizon = static_cast<double>(state.range(0));
+  opt.warmup = opt.horizon / 10.0;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(++seed);
+    const auto res = simulate_mg1(classes, opt, rng);
+    benchmark::DoNotOptimize(res.cost_rate);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void bm_mg1_fcfs(benchmark::State& s) { bm_mg1(s, Discipline::kFcfs); }
+void bm_mg1_np(benchmark::State& s) {
+  bm_mg1(s, Discipline::kPriorityNonPreemptive);
+}
+void bm_mg1_pr(benchmark::State& s) {
+  bm_mg1(s, Discipline::kPriorityPreemptiveResume);
+}
+BENCHMARK(bm_mg1_fcfs)->Arg(10000);
+BENCHMARK(bm_mg1_np)->Arg(10000);
+BENCHMARK(bm_mg1_pr)->Arg(10000);
+
+void bm_lu_kumar(benchmark::State& state) {
+  const auto cfg = lu_kumar_network(1.0, 0.01, 2.0 / 3.0, 0.01, 2.0 / 3.0,
+                                    /*bad_priority=*/false);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(++seed);
+    const auto trace =
+        simulate_network(cfg, static_cast<double>(state.range(0)), 10, rng);
+    benchmark::DoNotOptimize(trace.mean_total);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(bm_lu_kumar)->Arg(10000);
+
+}  // namespace

@@ -1,0 +1,51 @@
+// T3 — SEPT minimizes expected total flowtime on identical parallel
+// machines with exponential processing times [20].
+//
+// Exact subset-DP evaluation: SEPT vs the dynamic optimum vs LEPT/random
+// priorities, across random instances and machine counts.
+#include "batch/job.hpp"
+#include "batch/subset_dp.hpp"
+#include "bench_common.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace stosched;
+using namespace stosched::batch;
+
+int main() {
+  Table table("T3: parallel machines E[sum C_j], exponential jobs — SEPT [20]");
+  table.columns({"instance", "n", "m", "SEPT", "OPT (DP)", "LEPT", "random",
+                 "SEPT=OPT"});
+
+  Rng master(42);
+  bool all_match = true;
+  double worst_lept = 1.0;
+  for (int inst = 0; inst < 8; ++inst) {
+    Rng rng = master.stream(inst);
+    const std::size_t n = 6 + rng.below(5);  // 6..10
+    const unsigned m = 2 + static_cast<unsigned>(rng.below(2));
+    std::vector<ExpJob> jobs(n);
+    for (auto& j : jobs) j.rate = rng.uniform(0.3, 3.0);
+
+    const double sept = exp_dp_sept(jobs, m, ExpObjective::kFlowtime);
+    const double opt = exp_dp_optimal(jobs, m, ExpObjective::kFlowtime);
+    const double lept = exp_dp_lept(jobs, m, ExpObjective::kFlowtime);
+
+    std::vector<std::size_t> rnd(n);
+    for (std::size_t i = 0; i < n; ++i) rnd[i] = i;
+    for (std::size_t i = n; i > 1; --i) std::swap(rnd[i - 1], rnd[rng.below(i)]);
+    const double random = exp_dp_priority(jobs, m, ExpObjective::kFlowtime, rnd);
+
+    const bool match = sept <= opt * (1.0 + 1e-9);
+    all_match = all_match && match;
+    worst_lept = std::max(worst_lept, lept / opt);
+
+    table.add_row({"#" + std::to_string(inst), std::to_string(n),
+                   std::to_string(m), fmt(sept), fmt(opt), fmt(lept),
+                   fmt(random), match ? "yes" : "NO"});
+  }
+  table.note("all values exact (memoryless subset DP; policies = priority rules)");
+  table.verdict(all_match, "SEPT attains the dynamic optimum on all rows");
+  table.verdict(worst_lept > 1.05, "LEPT loses >5% somewhere (rule matters)");
+  return stosched::bench::finish(table);
+}

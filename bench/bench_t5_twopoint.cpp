@@ -1,0 +1,57 @@
+// T5 — outside the theorems' assumptions the simple rules fail: two-point
+// processing times on two machines (Coffman–Hofri–Weiss family [13]).
+//
+// For each instance the table compares SEPT/LEPT (by mean) against the
+// exhaustive optimum over list orders, all evaluated *exactly* on the
+// realization lattice. Prediction: a strict gap appears on some instances —
+// the counterexample the survey cites — while for exponential jobs (T3/T4)
+// the same rules were exactly optimal.
+#include "batch/job.hpp"
+#include "batch/parallel_machines.hpp"
+#include "bench_common.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace stosched;
+using namespace stosched::batch;
+
+int main() {
+  Table table("T5: two-point jobs on 2 machines — SEPT/LEPT lose optimality [13]");
+  table.columns({"instance", "n", "SEPT flow", "OPT flow", "flow gap",
+                 "LEPT mksp", "OPT mksp", "mksp gap"});
+
+  Rng master(77);
+  int flow_gaps = 0, mksp_gaps = 0;
+  for (int inst = 0; inst < 8; ++inst) {
+    Rng rng = master.stream(inst);
+    const std::size_t n = 5 + rng.below(2);  // 5..6 (exhaustive is n!)
+    Batch jobs;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double a = rng.uniform(0.05, 0.5);
+      const double b = a + rng.uniform(2.0, 12.0);
+      const double pa = rng.uniform(0.5, 0.95);
+      jobs.push_back({1.0, two_point_dist(a, pa, b)});
+    }
+    double opt_flow = 0.0, opt_mksp = 0.0;
+    best_list_order_discrete(jobs, 2, false, &opt_flow);
+    best_list_order_discrete(jobs, 2, true, &opt_mksp);
+    const double sept_flow =
+        exact_list_policy_discrete(jobs, sept_order(jobs), 2).flowtime;
+    const double lept_mksp =
+        exact_list_policy_discrete(jobs, lept_order(jobs), 2).makespan;
+
+    if (sept_flow > opt_flow * (1.0 + 1e-9)) ++flow_gaps;
+    if (lept_mksp > opt_mksp * (1.0 + 1e-9)) ++mksp_gaps;
+
+    table.add_row({"#" + std::to_string(inst), std::to_string(n),
+                   fmt(sept_flow), fmt(opt_flow),
+                   fmt_pct(sept_flow / opt_flow - 1.0), fmt(lept_mksp),
+                   fmt(opt_mksp), fmt_pct(lept_mksp / opt_mksp - 1.0)});
+  }
+  table.note("values exact over the 2^n realization lattice; optimum over n! list orders");
+  table.verdict(flow_gaps > 0,
+                "SEPT strictly suboptimal for flowtime on some instance");
+  table.verdict(mksp_gaps > 0,
+                "LEPT strictly suboptimal for makespan on some instance");
+  return stosched::bench::finish(table);
+}

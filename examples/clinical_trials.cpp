@@ -1,0 +1,97 @@
+// clinical_trials — the classical motivation for the multi-armed bandit
+// (Gittins & Jones [19] framed it as "sequential design of experiments"):
+// several candidate treatments with unknown success probabilities; each
+// period one patient receives one treatment; successes pay 1.
+//
+// Treatments are modeled as Bernoulli arms with Beta(s, f) posterior states
+// truncated to a small grid — each arm is a Markov project whose state is
+// (successes, failures) and whose Gittins index quantifies
+// exploration-vs-exploitation exactly. The example prints the index table
+// (showing the "optimism bonus" over the posterior mean) and plays the
+// policy against the myopic rule.
+#include <iostream>
+
+#include "core/stosched.hpp"
+
+namespace {
+
+// Beta-Bernoulli arm truncated to s + f < depth: state id for (s, f).
+struct BetaArm {
+  std::size_t depth;
+
+  std::size_t id(std::size_t s, std::size_t f) const {
+    // Triangular indexing of the (s, f) grid with s + f < depth, plus one
+    // absorbing "saturated" state.
+    std::size_t base = 0;
+    const std::size_t n = s + f;
+    for (std::size_t k = 0; k < n; ++k) base += k + 1;
+    return base + s;
+  }
+  std::size_t states() const { return id(0, depth) + 1; }  // + absorbing
+
+  stosched::bandit::MarkovProject project() const {
+    using stosched::bandit::MarkovProject;
+    MarkovProject p;
+    const std::size_t total = states();
+    p.reward.assign(total, 0.0);
+    p.trans.assign(total, std::vector<double>(total, 0.0));
+    for (std::size_t n = 0; n < depth; ++n) {
+      for (std::size_t s = 0; s <= n; ++s) {
+        const std::size_t f = n - s;
+        const std::size_t cur = id(s, f);
+        // Posterior mean of Beta(s+1, f+1).
+        const double mean = (s + 1.0) / (n + 2.0);
+        p.reward[cur] = mean;
+        const bool last = n + 1 == depth;
+        const std::size_t succ = last ? id(0, depth) : id(s + 1, f);
+        const std::size_t fail = last ? id(0, depth) : id(s, f + 1);
+        p.trans[cur][succ] += mean;
+        p.trans[cur][fail] += 1.0 - mean;
+      }
+    }
+    // Saturated state: posterior frozen at 1/2 (conservative), absorbing.
+    const std::size_t sat = id(0, depth);
+    p.reward[sat] = 0.5;
+    p.trans[sat][sat] = 1.0;
+    return p;
+  }
+};
+
+}  // namespace
+
+int main() {
+  using namespace stosched;
+
+  const double beta = 0.9;
+  const BetaArm arm{5};
+  bandit::BanditInstance trial;
+  trial.beta = beta;
+  trial.projects.assign(3, arm.project());
+
+  const auto gittins = bandit::gittins_table(trial);
+
+  std::cout << "Gittins index vs posterior mean (single arm, beta = " << beta
+            << "):\n  (s,f)   mean   index   exploration bonus\n";
+  for (std::size_t n = 0; n < 3; ++n)
+    for (std::size_t s = 0; s <= n; ++s) {
+      const std::size_t f = n - s;
+      const double mean = (s + 1.0) / (n + 2.0);
+      const double idx = gittins[0][arm.id(s, f)];
+      std::cout << "  (" << s << ',' << f << ")   " << fmt(mean, 3) << "  "
+                << fmt(idx, 3) << "   +" << fmt(idx - mean, 3) << '\n';
+    }
+
+  // Play Gittins vs myopic from fresh arms; exact values on the product MDP.
+  const std::vector<std::size_t> start(3, arm.id(0, 0));
+  const double g = bandit::index_policy_value(trial, gittins, start);
+  const double m =
+      bandit::index_policy_value(trial, bandit::myopic_table(trial), start);
+  const double opt = bandit::optimal_value(trial, start);
+  std::cout << "\nexpected discounted successes (3 fresh arms):\n"
+            << "  Gittins rule: " << fmt(g, 4) << "\n"
+            << "  myopic rule:  " << fmt(m, 4) << "\n"
+            << "  optimum:      " << fmt(opt, 4) << "\n"
+            << (g >= opt - 1e-6 ? "Gittins attains the optimum.\n"
+                                : "unexpected gap!\n");
+  return 0;
+}

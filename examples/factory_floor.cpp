@@ -1,0 +1,70 @@
+// factory_floor — scheduling a manufacturing workstation (the survey's own
+// motivating example: "a manufacturing workstation processing different
+// part types, where part arrival and processing times are subject to
+// random variability").
+//
+// Part types arrive at a single CNC cell; some parts return for rework
+// (Markovian feedback). The example computes Klimov's optimal priority
+// indices, simulates the cell under the Klimov rule / cµ-ignoring-rework /
+// FCFS-like uniform priorities, and reports WIP holding cost rates.
+#include <iostream>
+
+#include "core/stosched.hpp"
+
+int main() {
+  using namespace stosched;
+  using namespace stosched::queueing;
+
+  // Three part classes: castings, housings, and rework-prone shafts.
+  //   arrival rate | machining time | holding cost $/hr
+  KlimovNetwork cell;
+  cell.classes = {
+      {0.20, exponential_dist(2.0), 4.0},   // castings: fast, pricey WIP
+      {0.15, erlang_dist(2, 3.0), 1.0},     // housings: steady work
+      {0.10, exponential_dist(1.2), 2.0},   // shafts: slow, mid value
+  };
+  // Rework routes: 25% of castings come back as shafts (re-machining);
+  // 20% of shafts return to themselves (failed inspection).
+  cell.feedback = {
+      {0.00, 0.00, 0.25},
+      {0.00, 0.00, 0.00},
+      {0.00, 0.00, 0.20},
+  };
+
+  std::cout << "workstation utilization (with rework): "
+            << klimov_traffic_intensity(cell) << "\n\n";
+
+  const KlimovResult klimov = klimov_indices(cell);
+  std::cout << "Klimov indices (serve the largest):\n";
+  for (std::size_t j = 0; j < cell.num_classes(); ++j)
+    std::cout << "  class " << j << ": " << klimov.index[j] << '\n';
+
+  // A naive supervisor ranks by cµ ignoring rework routes.
+  const auto naive = cmu_order(cell.classes);
+
+  Table report("factory floor: WIP holding cost $/hr by dispatch rule");
+  report.columns({"rule", "cost rate", "castings WIP", "housings WIP",
+                  "shafts WIP"});
+  const auto simulate = [&](const std::vector<std::size_t>& priority,
+                            std::uint64_t seed) {
+    Rng rng(seed);
+    return simulate_klimov(cell, priority, /*horizon=*/2e5, /*warmup=*/2e4,
+                           rng);
+  };
+  const auto add = [&](const std::string& name, const SimResult& r) {
+    report.add_row({name, fmt(r.cost_rate), fmt(r.per_class[0].mean_in_system),
+                    fmt(r.per_class[1].mean_in_system),
+                    fmt(r.per_class[2].mean_in_system)});
+  };
+  const auto k = simulate(klimov.priority, 1);
+  const auto n = simulate(naive, 2);
+  const auto f = simulate({0, 1, 2}, 3);
+  add("Klimov (rework-aware)", k);
+  add("c-mu (ignores rework)", n);
+  add("class-id order", f);
+  report.verdict(k.cost_rate <= n.cost_rate * 1.02 &&
+                     k.cost_rate <= f.cost_rate * 1.02,
+                 "rework-aware indices minimize WIP cost");
+  report.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// machine_maintenance — restless bandits in the wild (survey §2, [48]):
+// a fleet of machines deteriorates whether or not a repair crew attends
+// them (that is what makes them *restless*); the crew can service m of N
+// machines per shift. Whittle's index prioritizes attention.
+#include <iostream>
+
+#include "core/stosched.hpp"
+
+int main() {
+  using namespace stosched;
+  using namespace stosched::restless;
+
+  // Machine condition: 0 = good, 1 = worn, 2 = degraded, 3 = failing.
+  // Active (maintained): yields produce at condition-dependent rates and the
+  // machine tends to improve. Passive: it keeps producing but deteriorates.
+  RestlessProject machine;
+  machine.reward_active = {0.9, 0.7, 0.5, 0.2};   // production while serviced
+  machine.reward_passive = {1.0, 0.8, 0.5, 0.1};  // production unattended
+  machine.trans_active = {{0.95, 0.05, 0.0, 0.0},
+                          {0.7, 0.25, 0.05, 0.0},
+                          {0.4, 0.4, 0.15, 0.05},
+                          {0.2, 0.4, 0.3, 0.1}};
+  machine.trans_passive = {{0.7, 0.25, 0.05, 0.0},
+                           {0.0, 0.6, 0.35, 0.05},
+                           {0.0, 0.0, 0.65, 0.35},
+                           {0.0, 0.0, 0.0, 1.0}};  // failure is absorbing
+
+  const auto w = whittle_index(machine);
+  std::cout << "indexable: " << (w.indexable ? "yes" : "no") << '\n';
+  if (w.indexable) {
+    std::cout << "Whittle maintenance priority by condition:\n";
+    const char* names[] = {"good", "worn", "degraded", "failing"};
+    for (std::size_t s = 0; s < 4; ++s)
+      std::cout << "  " << names[s] << ": " << fmt(w.index[s], 4) << '\n';
+  }
+
+  // Fleet of 12, crew capacity 3 per shift.
+  const std::size_t fleet = 12, crew = 3;
+  const auto inst = symmetric_instance(machine, fleet, crew);
+  const double bound = solve_relaxation_symmetric(machine, fleet, crew).bound;
+
+  PriorityTable whittle_table(fleet, w.index);
+  PriorityTable myopic_table(fleet, myopic_index(machine));
+  Rng r1(1), r2(2), r3(3);
+  const double w_rate =
+      simulate_priority_policy(inst, whittle_table, 50000, 5000, r1);
+  const double m_rate =
+      simulate_priority_policy(inst, myopic_table, 50000, 5000, r2);
+  const double rnd_rate = simulate_random_policy(inst, 50000, 5000, r3);
+
+  Table report("fleet production per shift (12 machines, crew of 3)");
+  report.columns({"policy", "production", "% of LP bound"});
+  report.add_row({"Whittle index", fmt(w_rate, 2), fmt_pct(w_rate / bound)});
+  report.add_row({"myopic (worst condition first... by one-step gain)",
+                  fmt(m_rate, 2), fmt_pct(m_rate / bound)});
+  report.add_row({"random crew assignment", fmt(rnd_rate, 2),
+                  fmt_pct(rnd_rate / bound)});
+  report.note("LP relaxation bound = " + fmt(bound, 2) +
+              " (not attainable, only approachable)");
+  report.verdict(w_rate >= m_rate - 0.05 && w_rate > rnd_rate,
+                 "index policy gets the most production out of the crew");
+  report.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// quickstart — the five-minute tour of libstosched.
+//
+// Builds a small batch of stochastic jobs, ranks them with the Smith/WSEPT
+// index rule, computes the exact expected weighted flowtime, verifies it by
+// simulation, and shows that the rule matches the exhaustive optimum —
+// the survey's very first theorem, reproduced in ~40 lines.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <iostream>
+
+#include "core/stosched.hpp"
+
+int main() {
+  using namespace stosched;
+
+  // 1. Describe the workload: four jobs with different cost weights and
+  //    processing-time laws (only the means matter for sequencing).
+  batch::Batch jobs{
+      {/*weight=*/3.0, exponential_dist(/*rate=*/0.5)},   // mean 2.0
+      {/*weight=*/1.0, deterministic_dist(1.0)},          // mean 1.0
+      {/*weight=*/2.0, erlang_dist(3, 1.0)},              // mean 3.0
+      {/*weight=*/0.5, hyperexp2_dist(4.0, 3.0)},         // mean 4.0
+  };
+
+  // 2. Rank with the WSEPT (Smith/Rothkopf) index rule.
+  const core::IndexRule rule = core::wsept_rule(jobs);
+  const batch::Order order = rule.priority_order();
+  std::cout << "WSEPT order:";
+  for (const auto j : order) std::cout << ' ' << j;
+  std::cout << '\n';
+
+  // 3. Exact objective and the exhaustive optimum.
+  const double wsept = batch::exact_weighted_flowtime(jobs, order);
+  double opt = 0.0;
+  batch::best_order_exhaustive(jobs, &opt);
+  std::cout << "E[sum w_j C_j] (WSEPT) = " << wsept << "\n"
+            << "E[sum w_j C_j] (best of n! orders) = " << opt << '\n';
+
+  // 4. Confirm by Monte-Carlo simulation (parallel replications, CI).
+  const RunningStat stat = monte_carlo(20000, /*seed=*/7,
+                                       [&](std::size_t, Rng& rng) {
+    return batch::simulate_weighted_flowtime(jobs, order, rng);
+  });
+  const Estimate est = make_estimate(stat);
+  std::cout << "simulated: " << est.value << " +/- " << est.half_width
+            << " (95% CI, " << est.replications << " reps)\n";
+
+  std::cout << (wsept <= opt + 1e-9 && est.covers(wsept)
+                    ? "WSEPT is optimal, simulation agrees.\n"
+                    : "unexpected mismatch!\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// gittins.hpp — Gittins dynamic allocation indices (survey §2).
+//
+// The index of state i is
+//     gamma_i = sup_{tau >= 1} E_i[ Σ_{t<tau} β^t R_{x(t)} ]
+//                            / E_i[ Σ_{t<tau} β^t ],
+// the best achievable "discounted reward per unit of discounted time" before
+// retiring. Gittins–Jones [19]: engaging a project with maximal current
+// index is optimal. The survey stresses the rich history of independent
+// proofs; in the same spirit the library computes the index by three
+// independent algorithms and cross-validates them (experiment F2):
+//
+//   * gittins_largest_index — Varaiya–Walrand–Buyukkoc [40]: states are
+//     indexed from the largest down; the k-th round solves a linear system
+//     on the previously-indexed (continuation) set. O(n^4), exact up to
+//     linear-solve rounding.
+//   * gittins_restart — Katehakis–Veinott restart-in-state MDP: gamma_i =
+//     (1-β) V_i(i), where V_i is the value of the MDP allowing "continue" or
+//     "restart to i" in every state. Solved by value iteration [47]-style.
+//   * gittins_calibration — Whittle's retirement-reward calibration [47]:
+//     bisect the retirement reward M until indifference at state i;
+//     gamma_i = (1-β) M*.
+#pragma once
+
+#include <vector>
+
+#include "bandit/project.hpp"
+
+namespace stosched::bandit {
+
+/// Varaiya–Walrand–Buyukkoc largest-index-first algorithm. Exact.
+std::vector<double> gittins_largest_index(const MarkovProject& p, double beta);
+
+/// Restart-in-state formulation solved by value iteration to `tol`.
+std::vector<double> gittins_restart(const MarkovProject& p, double beta,
+                                    double tol = 1e-11);
+
+/// Retirement-option calibration via bisection to `tol` on the index scale.
+std::vector<double> gittins_calibration(const MarkovProject& p, double beta,
+                                        double tol = 1e-9);
+
+}  // namespace stosched::bandit

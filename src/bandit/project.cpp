@@ -1,0 +1,54 @@
+#include "bandit/project.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace stosched::bandit {
+
+void MarkovProject::validate() const {
+  STOSCHED_REQUIRE(!reward.empty(), "project needs at least one state");
+  STOSCHED_REQUIRE(trans.size() == reward.size(),
+                   "transition matrix shape mismatch");
+  for (const auto& row : trans) {
+    STOSCHED_REQUIRE(row.size() == reward.size(),
+                     "transition matrix must be square");
+    double total = 0.0;
+    for (const double p : row) {
+      STOSCHED_REQUIRE(p >= -1e-12, "negative transition probability");
+      total += p;
+    }
+    STOSCHED_REQUIRE(std::abs(total - 1.0) < 1e-9,
+                     "transition rows must sum to 1");
+  }
+}
+
+MarkovProject random_project(std::size_t states, Rng& rng, double reward_lo,
+                             double reward_hi) {
+  STOSCHED_REQUIRE(states >= 1, "project needs at least one state");
+  MarkovProject p;
+  p.reward.resize(states);
+  p.trans.assign(states, std::vector<double>(states, 0.0));
+  for (std::size_t s = 0; s < states; ++s) {
+    p.reward[s] = rng.uniform(reward_lo, reward_hi);
+    double total = 0.0;
+    for (std::size_t t = 0; t < states; ++t) {
+      p.trans[s][t] = rng.uniform_pos();
+      total += p.trans[s][t];
+    }
+    for (std::size_t t = 0; t < states; ++t) p.trans[s][t] /= total;
+    // Renormalize exactly: make the last entry absorb rounding error.
+    double partial = 0.0;
+    for (std::size_t t = 0; t + 1 < states; ++t) partial += p.trans[s][t];
+    p.trans[s][states - 1] = 1.0 - partial;
+  }
+  return p;
+}
+
+void BanditInstance::validate() const {
+  STOSCHED_REQUIRE(!projects.empty(), "instance needs at least one project");
+  STOSCHED_REQUIRE(beta > 0.0 && beta < 1.0, "discount must lie in (0,1)");
+  for (const auto& p : projects) p.validate();
+}
+
+}  // namespace stosched::bandit

@@ -1,0 +1,42 @@
+// project.hpp — bandit projects (survey §2).
+//
+// A project is a finite Markov chain with a state-dependent reward received
+// when (and only when) the project is engaged; idle projects are frozen.
+// This is exactly the classical multi-armed bandit setting of Gittins–Jones
+// [19]: engage one project per epoch, maximize E[Σ β^t R_{j(t)}].
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace stosched::bandit {
+
+/// A finite-state Markov reward project.
+struct MarkovProject {
+  std::vector<double> reward;               ///< R_i, earned on engagement
+  std::vector<std::vector<double>> trans;   ///< row-stochastic transition P
+
+  [[nodiscard]] std::size_t num_states() const noexcept {
+    return reward.size();
+  }
+  /// Throws std::invalid_argument unless P is row-stochastic and shapes
+  /// agree.
+  void validate() const;
+};
+
+/// Random project: rewards uniform in [reward_lo, reward_hi], transition
+/// rows drawn as normalized uniform vectors (dense, well-mixing).
+MarkovProject random_project(std::size_t states, Rng& rng,
+                             double reward_lo = 0.0, double reward_hi = 1.0);
+
+/// A bandit instance: N projects engaged one at a time, discount beta.
+struct BanditInstance {
+  std::vector<MarkovProject> projects;
+  double beta = 0.9;
+
+  void validate() const;
+};
+
+}  // namespace stosched::bandit

@@ -1,0 +1,44 @@
+// switching.hpp — bandits with switching penalties (survey §2, [2]).
+//
+// A cost c_sw is charged whenever the engaged project changes (including the
+// first engagement from idle). Gittins' rule is no longer optimal; Asawa and
+// Teneketzis characterized the optimal policy partially and motivated a
+// hysteresis heuristic built from two indices per state:
+//   * continuation index  = plain Gittins index gamma_i (no setup to keep
+//     playing the incumbent);
+//   * switching index     = gamma_i - (1-beta) * c_sw (a newcomer must
+//     amortize the setup over the discounted future).
+// The heuristic stays with the incumbent while its continuation index beats
+// every rival's switching index. Experiment T7 compares: exact optimum (MDP
+// over joint state x incumbent), hysteresis heuristic, and naive Gittins.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bandit/bandit_sim.hpp"
+#include "bandit/project.hpp"
+
+namespace stosched::bandit {
+
+/// The switching-cost bandit: instance + switching penalty.
+struct SwitchingInstance {
+  BanditInstance base;
+  double switch_cost = 0.0;
+};
+
+/// Exact optimal value from `start` with no incumbent (first pull pays the
+/// switching cost). Augments the product MDP with the incumbent project.
+double switching_optimal_value(const SwitchingInstance& inst,
+                               const std::vector<std::size_t>& start);
+
+/// Exact value of the hysteresis index policy described above.
+double switching_hysteresis_value(const SwitchingInstance& inst,
+                                  const std::vector<std::size_t>& start);
+
+/// Exact value of naive Gittins (ignores the switching cost when choosing,
+/// but still pays it).
+double switching_naive_gittins_value(const SwitchingInstance& inst,
+                                     const std::vector<std::size_t>& start);
+
+}  // namespace stosched::bandit

@@ -1,0 +1,50 @@
+// precedence.hpp — in-tree precedence constraints on parallel machines
+// (survey §1, [31]).
+//
+// Jobs form an in-tree: a job becomes eligible once all its children are
+// complete; the root finishes last. Papadimitriou–Tsitsiklis showed that
+// with i.i.d. exponential processing times, Highest-Level-First (HLF, level
+// = distance to the root) is asymptotically optimal for expected makespan as
+// n grows. The experiment compares HLF against an arbitrary-eligible greedy
+// policy and against the standard lower bound
+//     LB = max( E[work]/m , depth · mean )
+// showing the HLF/LB ratio approach 1.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace stosched::batch {
+
+/// An in-tree: parent[i] is the parent of node i, parent[root] == root.
+struct InTree {
+  std::vector<std::size_t> parent;
+  std::size_t root = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return parent.size(); }
+};
+
+/// Uniform random recursive in-tree on n nodes (node i attaches to a
+/// uniformly chosen earlier node).
+InTree random_in_tree(std::size_t n, Rng& rng);
+
+/// Level of each node = #edges on the path to the root.
+std::vector<std::size_t> tree_levels(const InTree& tree);
+
+/// Depth = max level + 1 (nodes on the longest chain).
+std::size_t tree_depth(const InTree& tree);
+
+/// Scheduling policy for eligible jobs.
+enum class TreePolicy {
+  kHighestLevelFirst,  ///< HLF of [31]
+  kFifoEligible,       ///< serve eligible jobs in index order (greedy baseline)
+};
+
+/// Simulate one makespan realization: m machines, i.i.d. Exp(rate) jobs,
+/// nonpreemptive, never idles a machine while an eligible job waits.
+double simulate_tree_makespan(const InTree& tree, unsigned machines,
+                              double rate, TreePolicy policy, Rng& rng);
+
+}  // namespace stosched::batch

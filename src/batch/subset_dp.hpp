@@ -1,0 +1,54 @@
+// subset_dp.hpp — exact dynamic programming for exponential jobs on
+// identical parallel machines (survey §1, experiments T3/T4/F1).
+//
+// With exponential processing times the running jobs are memoryless, so the
+// system state collapses to the *set* of uncompleted jobs; decision epochs
+// are completion times. For a chosen service set A (|A| = min(m, |S|)):
+//   * the next completion arrives after Exp(Λ_A), Λ_A = Σ_{i∈A} µ_i;
+//   * it is job i with probability µ_i / Λ_A;
+// which yields the recursions
+//   flowtime:  V(S) = min_A [ W(S)/Λ_A + Σ_{i∈A} (µ_i/Λ_A) V(S\{i}) ],
+//   makespan:  V(S) = min_A [    1/Λ_A + Σ_{i∈A} (µ_i/Λ_A) V(S\{i}) ],
+// with W(S) the total weight of uncompleted jobs. The minimizing policy is
+// the exact dynamic optimum over *all* nonanticipative policies (idling is
+// never profitable here). Evaluating a fixed priority order instead of
+// minimizing gives the exact value of SEPT/LEPT/WSEPT — the comparisons the
+// experiments report are therefore noise-free.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace stosched::batch {
+
+/// An exponential job: completion rate µ and flowtime weight w.
+struct ExpJob {
+  double rate = 1.0;
+  double weight = 1.0;
+};
+
+enum class ExpObjective {
+  kFlowtime,          ///< E[Σ C_j]
+  kWeightedFlowtime,  ///< E[Σ w_j C_j]
+  kMakespan,          ///< E[max C_j]
+};
+
+/// Exact optimal expected value over all policies. n <= 16.
+double exp_dp_optimal(const std::vector<ExpJob>& jobs, unsigned machines,
+                      ExpObjective objective);
+
+/// Exact expected value of the static priority policy that always serves the
+/// min(m, |S|) uncompleted jobs ranked earliest in `priority` (a permutation
+/// of job indices, highest priority first).
+double exp_dp_priority(const std::vector<ExpJob>& jobs, unsigned machines,
+                       ExpObjective objective,
+                       const std::vector<std::size_t>& priority);
+
+/// Convenience: value of SEPT (shortest expected processing first ==
+/// highest rate first) / LEPT (lowest rate first) under the DP.
+double exp_dp_sept(const std::vector<ExpJob>& jobs, unsigned machines,
+                   ExpObjective objective);
+double exp_dp_lept(const std::vector<ExpJob>& jobs, unsigned machines,
+                   ExpObjective objective);
+
+}  // namespace stosched::batch

@@ -1,0 +1,47 @@
+// uniform_machines.hpp — machines that differ in speed (survey §1, T12).
+//
+// Two uniform machines with speeds s1 >= s2 process exponential jobs
+// *nonpreemptively*: once a job starts on a machine it finishes there (a job
+// with rate µ completes at rate s·µ on a speed-s machine). In this model the
+// optimal flowtime policy has a *threshold* structure [1, 33]: committing a
+// job to the slow machine is irrevocable, so near the end of the batch it is
+// better to leave the slow machine idle and queue the remaining jobs for the
+// fast one. The DP below computes the exact optimum including idling
+// actions, reports how often the optimal action idles the slow machine, and
+// evaluates the greedy never-idle heuristic for comparison.
+//
+// (If reassignment were free — the preemptive model — idling would never
+// help with exponential jobs: parking a job on the slow machine costs
+// nothing. The threshold phenomenon is inherently nonpreemptive.)
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "batch/subset_dp.hpp"
+
+namespace stosched::batch {
+
+/// Result of the two-machine uniform DP.
+struct UniformDpResult {
+  double value = 0.0;           ///< optimal expected objective
+  std::size_t states = 0;       ///< decision states examined
+  std::size_t idle_states = 0;  ///< states where the optimum idles machine 2
+                                ///< while unstarted jobs remain
+};
+
+/// Exact optimal expected flowtime (Σ C_j) or makespan on two uniform
+/// machines with speeds s1 >= s2 > 0; exponential jobs, nonpreemptive
+/// commitment; n <= 14.
+UniformDpResult uniform2_dp_optimal(const std::vector<ExpJob>& jobs,
+                                    double s1, double s2,
+                                    ExpObjective objective);
+
+/// Exact value of the greedy never-idle policy: whenever a machine frees
+/// and unstarted jobs remain, it takes the job ranked first in `priority`
+/// (the fast machine is offered the job first when both are free).
+double uniform2_dp_priority(const std::vector<ExpJob>& jobs, double s1,
+                            double s2, ExpObjective objective,
+                            const std::vector<std::size_t>& priority);
+
+}  // namespace stosched::batch

@@ -1,0 +1,111 @@
+#include "core/achievable_region.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "queueing/mg1_analytic.hpp"
+#include "util/check.hpp"
+
+namespace stosched::core {
+
+AdaptiveGreedyResult adaptive_greedy(
+    std::size_t n,
+    const std::function<std::vector<double>(const std::vector<char>&)>& coeffs,
+    const std::vector<double>& costs) {
+  STOSCHED_REQUIRE(n >= 1, "need at least one class");
+  STOSCHED_REQUIRE(costs.size() == n, "cost vector shape mismatch");
+
+  AdaptiveGreedyResult out;
+  out.index.assign(n, 0.0);
+  out.priority.assign(n, 0);
+  out.y.assign(n, 0.0);
+
+  // Peel from the *lowest* priority class upward. At step k (k = n..1) the
+  // candidate set S_k holds the classes not yet peeled; the peeled class
+  // minimizes the adjusted cost rate
+  //     ( c_j - Σ_{peeled sets L} A_j^L y_L ) / A_j^{S_k}.
+  // Its index is the cumulative sum of the dual increments y.
+  std::vector<char> in_set(n, 1);
+  // adjusted[j] accumulates Σ_L A_j^L y_L over already-peeled sets L.
+  std::vector<double> adjusted(n, 0.0);
+  double index_sum = 0.0;
+
+  for (std::size_t step = n; step-- > 0;) {
+    const std::vector<double> a = coeffs(in_set);
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t pick = n;
+    // Scan high ids first so ties peel the larger id into lower priority,
+    // matching the convention "stable sort by index descending".
+    for (std::size_t j = n; j-- > 0;) {
+      if (!in_set[j]) continue;
+      STOSCHED_REQUIRE(a[j] > 0.0,
+                       "conservation-law coefficients must be positive");
+      const double rate = (costs[j] - adjusted[j]) / a[j];
+      if (rate < best) {
+        best = rate;
+        pick = j;
+      }
+    }
+    STOSCHED_ASSERT(pick < n, "no class picked in adaptive greedy");
+
+    out.y[step] = best;
+    index_sum += best;
+    out.index[pick] = index_sum;
+    out.priority[step] = pick;
+
+    // Update the adjustment with this set's coefficients before shrinking.
+    for (std::size_t j = 0; j < n; ++j)
+      if (in_set[j]) adjusted[j] += a[j] * best;
+    in_set[pick] = 0;
+  }
+  return out;
+}
+
+double mg1_region_b(const std::vector<queueing::ClassSpec>& classes,
+                    const std::vector<char>& in_set) {
+  STOSCHED_REQUIRE(in_set.size() == classes.size(), "shape mismatch");
+  // Nonpreemptive M/G/1: even top-priority jobs wait behind the residual
+  // work of *any* in-service job, so b(S) carries the total W0, not just
+  // the subset's share (Coffman–Mitrani [14]). Equality at S is attained by
+  // giving S absolute priority (Cobham algebra; see test_core).
+  double rho_s = 0.0;
+  for (std::size_t j = 0; j < classes.size(); ++j)
+    if (in_set[j])
+      rho_s += classes[j].arrival_rate * classes[j].service->mean();
+  STOSCHED_REQUIRE(rho_s < 1.0, "subset must be stable");
+  return rho_s * queueing::mean_residual_work(classes) / (1.0 - rho_s);
+}
+
+std::vector<double> mg1_region_vertex(
+    const std::vector<queueing::ClassSpec>& classes,
+    const std::vector<std::size_t>& priority) {
+  const auto waits = queueing::cobham_waits(classes, priority);
+  std::vector<double> x(classes.size(), 0.0);
+  for (std::size_t j = 0; j < classes.size(); ++j)
+    x[j] = classes[j].arrival_rate * classes[j].service->mean() * waits[j];
+  return x;
+}
+
+bool mg1_region_contains(const std::vector<queueing::ClassSpec>& classes,
+                         const std::vector<double>& x, double tol) {
+  const std::size_t n = classes.size();
+  STOSCHED_REQUIRE(n <= 16, "region check limited to n <= 16");
+  STOSCHED_REQUIRE(x.size() == n, "performance vector shape mismatch");
+  std::vector<char> in_set(n, 0);
+  for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+    double lhs = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      in_set[j] = (mask >> j) & 1u;
+      if (in_set[j]) lhs += x[j];
+    }
+    const double rhs = mg1_region_b(classes, in_set);
+    const bool base = mask == (1u << n) - 1;
+    if (lhs < rhs - tol) return false;
+    if (base && std::abs(lhs - rhs) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace stosched::core

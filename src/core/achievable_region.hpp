@@ -1,0 +1,67 @@
+// achievable_region.hpp — conservation laws, polymatroids and the
+// adaptive-greedy index algorithm (the survey's unifying principle, [4, 14,
+// 17, 36]).
+//
+// The achievable region method characterizes the performance vectors
+// x = (x_1..x_n) attainable by admissible scheduling policies as a polytope
+// defined by *conservation laws*:
+//     Σ_{j∈S} A_j^S x_j >= b(S)   for all S ⊂ N,   with equality at S = N,
+// whose vertices are exactly the static priority rules. Optimizing a linear
+// cost over such an (extended) polymatroid is done by a greedy dual peeling
+// — the *adaptive greedy* algorithm of Bertsimas–Niño-Mora [4] — which
+// yields both the optimal priority order and a set of priority *indices*:
+// cµ for the plain M/G/1, Klimov's indices with feedback, Gittins' indices
+// for branching bandits. The engine below needs only the coefficient
+// callback A and the cost vector; b(S) never enters the index computation.
+//
+// This module also instantiates the region itself for the multiclass M/G/1
+// (performance x_j = ρ_j W_j, a genuine polymatroid) so experiment F4 can
+// check simulated points against the polytope.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "queueing/mg1.hpp"
+
+namespace stosched::core {
+
+/// Output of the adaptive-greedy peeling.
+struct AdaptiveGreedyResult {
+  std::vector<double> index;          ///< per class; higher = serve first
+  std::vector<std::size_t> priority;  ///< classes ordered by index, highest first
+  std::vector<double> y;              ///< dual increments, one per peel step
+};
+
+/// Adaptive greedy on an (extended) polymatroid. `coeffs(in_set)` must
+/// return the vector A^S with entries A_j^S for the classes j with
+/// in_set[j] != 0 (other entries ignored); costs are the per-class holding
+/// costs c_j of the minimization min Σ c_j x_j.
+AdaptiveGreedyResult adaptive_greedy(
+    std::size_t n,
+    const std::function<std::vector<double>(const std::vector<char>&)>& coeffs,
+    const std::vector<double>& costs);
+
+// ---------------------------------------------------------------------------
+// The multiclass M/G/1 polymatroid (no feedback).
+// ---------------------------------------------------------------------------
+
+/// Set function of the M/G/1 region for x_j = ρ_j W_j:
+///   b(S) = ρ(S) · W0(S) / (1 - ρ(S)),
+/// the total ρ-weighted wait when S has absolute priority [14].
+double mg1_region_b(const std::vector<queueing::ClassSpec>& classes,
+                    const std::vector<char>& in_set);
+
+/// The region's vertex for a given priority order: x_j = ρ_j W_j with W from
+/// Cobham's formula. Equals the greedy polymatroid vertex.
+std::vector<double> mg1_region_vertex(
+    const std::vector<queueing::ClassSpec>& classes,
+    const std::vector<std::size_t>& priority);
+
+/// Verify a performance point lies inside the region (all 2^n - 1 lower
+/// constraints + the base equality within `tol`). n <= 16.
+bool mg1_region_contains(const std::vector<queueing::ClassSpec>& classes,
+                         const std::vector<double>& x, double tol);
+
+}  // namespace stosched::core

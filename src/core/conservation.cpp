@@ -1,0 +1,27 @@
+#include "core/conservation.hpp"
+
+#include <cmath>
+
+#include "queueing/mg1_analytic.hpp"
+#include "util/check.hpp"
+
+namespace stosched::core {
+
+ConservationAudit audit_conservation(
+    const std::vector<queueing::ClassSpec>& classes,
+    const queueing::SimResult& result) {
+  STOSCHED_REQUIRE(result.per_class.size() == classes.size(),
+                   "result/classes shape mismatch");
+  ConservationAudit audit;
+  audit.invariant = queueing::kleinrock_invariant(classes);
+  for (std::size_t j = 0; j < classes.size(); ++j) {
+    const double rho_j =
+        classes[j].arrival_rate * classes[j].service->mean();
+    audit.observed += rho_j * result.per_class[j].mean_wait;
+  }
+  audit.rel_error =
+      std::abs(audit.observed - audit.invariant) / audit.invariant;
+  return audit;
+}
+
+}  // namespace stosched::core

@@ -1,0 +1,30 @@
+// conservation.hpp — work-conservation identities (survey §3, [14]).
+//
+// For every work-conserving nonpreemptive discipline in a stable multiclass
+// M/G/1 queue, the ρ-weighted waits satisfy Kleinrock's conservation law
+//     Σ_j ρ_j W_j = ρ W0 / (1 - ρ)  — a single linear invariant that every
+// simulated policy must hit. The experiments use it as a built-in
+// cross-check: a scheduling policy can shift waiting time between classes
+// but cannot create or destroy it. This module scores simulation results
+// against the invariant and reports the relative violation.
+#pragma once
+
+#include <vector>
+
+#include "queueing/mg1.hpp"
+
+namespace stosched::core {
+
+/// Result of a conservation-law audit.
+struct ConservationAudit {
+  double invariant = 0.0;   ///< theoretical Σ ρ_j W_j
+  double observed = 0.0;    ///< simulated Σ ρ_j W_j
+  double rel_error = 0.0;   ///< |observed - invariant| / invariant
+};
+
+/// Audit a simulation result against Kleinrock's conservation law.
+ConservationAudit audit_conservation(
+    const std::vector<queueing::ClassSpec>& classes,
+    const queueing::SimResult& result);
+
+}  // namespace stosched::core

@@ -1,0 +1,73 @@
+#include "core/policy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "bandit/gittins.hpp"
+#include "restless/whittle.hpp"
+#include "util/check.hpp"
+
+namespace stosched::core {
+
+std::vector<std::size_t> IndexRule::priority_order() const {
+  std::vector<std::size_t> order(index.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return index[a] > index[b];
+                   });
+  return order;
+}
+
+IndexRule wsept_rule(const batch::Batch& jobs) {
+  IndexRule rule{"WSEPT", {}};
+  rule.index.reserve(jobs.size());
+  for (const auto& j : jobs)
+    rule.index.push_back(j.weight / j.processing->mean());
+  return rule;
+}
+
+IndexRule sept_rule(const batch::Batch& jobs) {
+  IndexRule rule{"SEPT", {}};
+  rule.index.reserve(jobs.size());
+  for (const auto& j : jobs) rule.index.push_back(1.0 / j.processing->mean());
+  return rule;
+}
+
+IndexRule lept_rule(const batch::Batch& jobs) {
+  IndexRule rule{"LEPT", {}};
+  rule.index.reserve(jobs.size());
+  for (const auto& j : jobs) rule.index.push_back(j.processing->mean());
+  return rule;
+}
+
+IndexRule cmu_rule(const std::vector<queueing::ClassSpec>& classes) {
+  IndexRule rule{"c-mu", {}};
+  rule.index.reserve(classes.size());
+  for (const auto& c : classes)
+    rule.index.push_back(c.holding_cost / c.service->mean());
+  return rule;
+}
+
+IndexRule klimov_rule(const queueing::KlimovNetwork& net) {
+  IndexRule rule{"Klimov", {}};
+  rule.index = queueing::klimov_indices(net).index;
+  return rule;
+}
+
+IndexRule gittins_rule(const bandit::MarkovProject& project, double beta) {
+  IndexRule rule{"Gittins", {}};
+  rule.index = bandit::gittins_largest_index(project, beta);
+  return rule;
+}
+
+IndexRule whittle_rule(const restless::RestlessProject& project) {
+  const auto res = restless::whittle_index(project);
+  STOSCHED_REQUIRE(res.indexable,
+                   "project is not indexable; use the primal-dual heuristic");
+  IndexRule rule{"Whittle", {}};
+  rule.index = res.index;
+  return rule;
+}
+
+}  // namespace stosched::core

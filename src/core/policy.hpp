@@ -1,0 +1,51 @@
+// policy.hpp — the unified priority-index policy abstraction.
+//
+// The survey's through-line is that across all three model families the
+// good policies share one shape: *compute an index per class/state, serve
+// the largest*. This header gives that shape a single vocabulary used by
+// the examples and the experiment harness:
+//   * IndexRule — a named assignment of indices to classes;
+//   * rule catalog — constructors for the rules the library implements
+//     (WSEPT/Smith, SEPT, LEPT, cµ, Klimov, Gittins, Whittle, myopic), each
+//     delegating to the subsystem that computes it;
+//   * ranking helpers to turn indices into priority orders.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "bandit/project.hpp"
+#include "batch/job.hpp"
+#include "queueing/klimov.hpp"
+#include "queueing/mg1.hpp"
+#include "restless/restless_project.hpp"
+
+namespace stosched::core {
+
+/// A named static index rule over n classes.
+struct IndexRule {
+  std::string name;
+  std::vector<double> index;  ///< higher = served first
+
+  /// Priority order induced by the indices (ties: lower class id first).
+  [[nodiscard]] std::vector<std::size_t> priority_order() const;
+};
+
+/// Smith/Rothkopf WSEPT rule for a batch: index w_j / E[P_j] [34, 37].
+IndexRule wsept_rule(const batch::Batch& jobs);
+/// SEPT: index 1 / E[P_j].
+IndexRule sept_rule(const batch::Batch& jobs);
+/// LEPT: index E[P_j].
+IndexRule lept_rule(const batch::Batch& jobs);
+/// cµ rule for a multiclass queue: index c_j / E[S_j] [15].
+IndexRule cmu_rule(const std::vector<queueing::ClassSpec>& classes);
+/// Klimov's rule for a feedback network [24].
+IndexRule klimov_rule(const queueing::KlimovNetwork& net);
+/// Gittins indices of one project's states [19] (largest-index algorithm).
+IndexRule gittins_rule(const bandit::MarkovProject& project, double beta);
+/// Whittle indices of one restless project's states [48]; throws
+/// std::invalid_argument when the project is not indexable.
+IndexRule whittle_rule(const restless::RestlessProject& project);
+
+}  // namespace stosched::core

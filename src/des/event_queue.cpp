@@ -1,0 +1,11 @@
+#include "des/event_queue.hpp"
+
+namespace stosched {
+
+// Explicit instantiations of the arities exercised by the library and the
+// micro-benchmark ablation; keeps template code out of every consumer TU.
+template class DaryEventHeap<2>;
+template class DaryEventHeap<4>;
+template class DaryEventHeap<8>;
+
+}  // namespace stosched

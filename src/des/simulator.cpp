@@ -1,0 +1,27 @@
+#include "des/simulator.hpp"
+
+namespace stosched {
+
+void Simulator::on(std::uint32_t type, Handler h) {
+  if (handlers_.size() <= type) handlers_.resize(type + 1);
+  handlers_[type] = std::move(h);
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  const Event e = queue_.pop();
+  STOSCHED_ASSERT(e.time >= now_, "event queue returned a past event");
+  now_ = e.time;
+  ++dispatched_;
+  STOSCHED_REQUIRE(e.type < handlers_.size() && handlers_[e.type],
+                   "no handler registered for event type");
+  handlers_[e.type](e);
+  return true;
+}
+
+void Simulator::run_until(double t_end, bool advance_to_end) {
+  while (!queue_.empty() && queue_.top().time <= t_end) step();
+  if (advance_to_end && now_ < t_end) now_ = t_end;
+}
+
+}  // namespace stosched

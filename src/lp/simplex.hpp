@@ -1,0 +1,65 @@
+// simplex.hpp — dense two-phase primal simplex.
+//
+// The survey's modern results lean on linear programming twice:
+//   * Whittle's restless-bandit relaxation [48] and the primal-dual index
+//     heuristic built on its optimal basis [7] (§2);
+//   * achievable-region / conservation-law bounds for multiclass queues
+//     [4,8,22] (§3).
+// Both produce small dense LPs (tens to a few hundred rows), so a dense
+// tableau simplex is the right tool: simple, auditable, cache-friendly.
+//
+// Numerical policy: Dantzig pricing with a switch to Bland's rule after a
+// run of degenerate pivots (guarantees termination), explicit feasibility
+// phase (no Big-M constants to tune), and a pivot tolerance of 1e-9.
+// Solutions report primal values, constraint duals and reduced costs — the
+// restless-bandit heuristic consumes the latter.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace stosched::lp {
+
+/// Inequality sense of one constraint row.
+enum class Sense { kLe, kGe, kEq };
+
+/// A single linear constraint: coeffs · x  (sense)  rhs.
+struct Constraint {
+  std::vector<double> coeffs;
+  Sense sense = Sense::kLe;
+  double rhs = 0.0;
+};
+
+/// max/min c·x subject to constraints and x >= 0.
+struct Problem {
+  enum class Objective { kMaximize, kMinimize };
+  Objective objective = Objective::kMaximize;
+  std::vector<double> costs;           ///< c, one entry per variable
+  std::vector<Constraint> constraints;
+
+  /// Convenience builders.
+  static Problem maximize(std::vector<double> costs);
+  static Problem minimize(std::vector<double> costs);
+  Problem& subject_to(std::vector<double> coeffs, Sense sense, double rhs);
+};
+
+/// Outcome of a solve.
+struct Solution {
+  enum class Status { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+  Status status = Status::kIterLimit;
+  double objective = 0.0;              ///< in the problem's own sense
+  std::vector<double> x;               ///< primal values
+  std::vector<double> duals;           ///< one per constraint (shadow prices)
+  std::vector<double> reduced_costs;   ///< one per structural variable
+  std::size_t iterations = 0;
+
+  [[nodiscard]] bool optimal() const { return status == Status::kOptimal; }
+};
+
+std::string to_string(Solution::Status s);
+
+/// Solve with the two-phase primal simplex. Deterministic.
+Solution solve(const Problem& p, std::size_t max_iterations = 100000);
+
+}  // namespace stosched::lp

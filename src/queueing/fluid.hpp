@@ -1,0 +1,65 @@
+// fluid.hpp — fluid approximations of multiclass queues (survey §3,
+// [11, 3]).
+//
+// The fluid model replaces the stochastic queue by a deterministic ODE:
+//     dq_j/dt = λ_j − µ_j u_j(t),   Σ_j u_j(t) <= 1,  u_j >= 0 while q_j > 0,
+// whose optimal draining control for linear holding costs is the greedy
+// cµ allocation (serve the nonempty class with the largest c_j µ_j at full
+// effort). Trajectories are piecewise linear, so the integrator is exact:
+// it steps from emptying event to emptying event.
+//
+// Experiment F7 checks the functional law of large numbers underpinning
+// fluid heuristics: the scaled stochastic backlog q(nt)/n under the cµ rule
+// converges to the fluid trajectory, and the fluid cost ranking of policies
+// predicts the stochastic one.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace stosched::queueing {
+
+/// One fluid class: arrival rate λ, service rate µ (at full effort), cost c.
+struct FluidClass {
+  double lambda = 0.0;
+  double mu = 1.0;
+  double cost = 1.0;
+};
+
+/// A piecewise-linear fluid trajectory.
+struct FluidTrajectory {
+  std::vector<double> times;                 ///< breakpoints, starting at 0
+  std::vector<std::vector<double>> levels;   ///< per breakpoint, per class
+  double cost_integral = 0.0;                ///< ∫ Σ c_j q_j(t) dt to drain
+  double drain_time = 0.0;
+
+  /// Level vector at an arbitrary time (linear interpolation; constant 0
+  /// after draining when the system is subcritical).
+  [[nodiscard]] std::vector<double> at(double t) const;
+};
+
+/// Integrate the fluid model from initial levels under a static priority
+/// order (highest first); exact piecewise-linear stepping until drained (or
+/// `t_max`). Requires Σ λ_j/µ_j < 1 for guaranteed draining.
+FluidTrajectory fluid_drain(const std::vector<FluidClass>& classes,
+                            const std::vector<double>& initial,
+                            const std::vector<std::size_t>& priority,
+                            double t_max = 1e9);
+
+/// The fluid-optimal priority for linear costs: nonincreasing c_j µ_j.
+std::vector<std::size_t> fluid_cmu_priority(
+    const std::vector<FluidClass>& classes);
+
+/// Simulate the *stochastic* counterpart (multiclass M/M/1, preemptive
+/// priority, no further arrivals counted after t_max) from an initial
+/// backlog, returning class levels sampled at the given times. Used to
+/// overlay scaled sample paths on the fluid trajectory.
+std::vector<std::vector<double>> simulate_backlog_path(
+    const std::vector<FluidClass>& classes,
+    const std::vector<std::size_t>& initial,
+    const std::vector<std::size_t>& priority,
+    const std::vector<double>& sample_times, Rng& rng);
+
+}  // namespace stosched::queueing

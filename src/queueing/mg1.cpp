@@ -1,0 +1,273 @@
+#include "queueing/mg1.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <limits>
+
+#include "des/event_queue.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace stosched::queueing {
+
+double traffic_intensity(const std::vector<ClassSpec>& classes) {
+  double rho = 0.0;
+  for (const auto& c : classes) rho += c.arrival_rate * c.service->mean();
+  return rho;
+}
+
+namespace {
+
+constexpr std::uint32_t kArrival = 0;
+constexpr std::uint32_t kDeparture = 1;
+
+/// A waiting or preempted job: when it joined its current class queue and
+/// (for preempted jobs) the unfinished service.
+struct WaitingJob {
+  double class_arrival = 0.0;
+  double remaining = -1.0;   ///< <0: not yet started
+  bool started = false;      ///< wait already credited
+};
+
+struct Sim {
+  const std::vector<ClassSpec>& classes;
+  const SimOptions& opt;
+  Rng& rng;
+  std::size_t n;
+
+  EventQueue events;
+  std::vector<std::deque<WaitingJob>> queue;   // per class; FCFS within class
+  std::deque<std::pair<std::size_t, WaitingJob>> fcfs;  // global FCFS queue
+
+  bool busy = false;
+  std::size_t cur_class = 0;
+  WaitingJob cur_job;
+  double service_started = 0.0;
+  double departure_time = 0.0;
+  std::uint64_t departure_gen = 0;  // lazy cancellation for preemption
+
+  std::vector<std::size_t> rank;    // rank[class] = priority position
+  std::vector<long> in_system;      // current count per class
+  std::vector<TimeAverage> count_ta;
+  TimeAverage busy_ta;
+  std::vector<RunningStat> wait_stat, sojourn_stat;
+  std::vector<std::size_t> completions;
+  bool warm = false;
+  double now = 0.0;
+
+  Sim(const std::vector<ClassSpec>& c, const SimOptions& o, Rng& r)
+      : classes(c), opt(o), rng(r), n(c.size()) {
+    STOSCHED_REQUIRE(n >= 1, "need at least one class");
+    for (const auto& spec : classes) {
+      STOSCHED_REQUIRE(spec.arrival_rate >= 0.0, "arrival rate must be >= 0");
+      STOSCHED_REQUIRE(spec.service != nullptr, "every class needs a service law");
+    }
+    const bool priority_based = opt.discipline != Discipline::kFcfs;
+    if (priority_based) {
+      STOSCHED_REQUIRE(opt.priority.size() == n,
+                       "priority list must cover all classes");
+      rank.assign(n, 0);
+      std::vector<char> seen(n, 0);
+      for (std::size_t pos = 0; pos < n; ++pos) {
+        const std::size_t cls = opt.priority[pos];
+        STOSCHED_REQUIRE(cls < n && !seen[cls],
+                         "priority list must be a permutation");
+        seen[cls] = 1;
+        rank[cls] = pos;
+      }
+    }
+    if (!opt.feedback.empty()) {
+      STOSCHED_REQUIRE(opt.discipline == Discipline::kPriorityNonPreemptive,
+                       "feedback requires the nonpreemptive discipline");
+      STOSCHED_REQUIRE(opt.feedback.size() == n, "feedback matrix shape");
+      for (const auto& row : opt.feedback) {
+        STOSCHED_REQUIRE(row.size() == n, "feedback matrix shape");
+        double total = 0.0;
+        for (const double p : row) {
+          STOSCHED_REQUIRE(p >= 0.0, "feedback probabilities must be >= 0");
+          total += p;
+        }
+        STOSCHED_REQUIRE(total <= 1.0 + 1e-9, "feedback row sums must be <= 1");
+      }
+    }
+    queue.resize(n);
+    in_system.assign(n, 0);
+    count_ta.resize(n);
+    wait_stat.resize(n);
+    sojourn_stat.resize(n);
+    completions.assign(n, 0);
+    for (std::size_t j = 0; j < n; ++j) count_ta[j].observe(0.0, 0.0);
+    busy_ta.observe(0.0, 0.0);
+  }
+
+  void set_count(std::size_t cls, long delta) {
+    in_system[cls] += delta;
+    STOSCHED_ASSERT(in_system[cls] >= 0, "negative class population");
+    count_ta[cls].observe(now, static_cast<double>(in_system[cls]));
+  }
+
+  void set_busy(bool b) {
+    busy = b;
+    busy_ta.observe(now, b ? 1.0 : 0.0);
+  }
+
+  void schedule_arrival(std::size_t cls) {
+    if (classes[cls].arrival_rate <= 0.0) return;
+    events.push(now + rng.exponential(classes[cls].arrival_rate), kArrival,
+                static_cast<std::uint32_t>(cls));
+  }
+
+  /// Pick the next class to serve; SIZE_MAX if all queues empty.
+  std::size_t pick_class() {
+    if (opt.discipline == Discipline::kFcfs) {
+      return fcfs.empty() ? SIZE_MAX : fcfs.front().first;
+    }
+    std::size_t best = SIZE_MAX;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (queue[j].empty()) continue;
+      if (best == SIZE_MAX || rank[j] < rank[best]) best = j;
+    }
+    return best;
+  }
+
+  void start_service() {
+    const std::size_t cls = pick_class();
+    if (cls == SIZE_MAX) {
+      set_busy(false);
+      return;
+    }
+    WaitingJob job;
+    if (opt.discipline == Discipline::kFcfs) {
+      job = fcfs.front().second;
+      fcfs.pop_front();
+    } else {
+      job = queue[cls].front();
+      queue[cls].pop_front();
+    }
+    if (!job.started) {
+      if (warm) wait_stat[cls].push(now - job.class_arrival);
+      job.started = true;
+    }
+    const double service = job.remaining >= 0.0
+                               ? job.remaining
+                               : classes[cls].service->sample(rng);
+    cur_class = cls;
+    cur_job = job;
+    service_started = now;
+    departure_time = now + service;
+    ++departure_gen;
+    events.push(departure_time, kDeparture, static_cast<std::uint32_t>(cls),
+                departure_gen);
+    set_busy(true);
+  }
+
+  void enqueue(std::size_t cls, WaitingJob job) {
+    if (opt.discipline == Discipline::kFcfs)
+      fcfs.emplace_back(cls, job);
+    else
+      queue[cls].push_back(job);
+  }
+
+  void on_arrival(std::size_t cls) {
+    schedule_arrival(cls);
+    set_count(cls, +1);
+    WaitingJob job;
+    job.class_arrival = now;
+
+    if (!busy) {
+      enqueue(cls, job);
+      start_service();
+      return;
+    }
+    if (opt.discipline == Discipline::kPriorityPreemptiveResume &&
+        rank[cls] < rank[cur_class]) {
+      // Preempt: bank the incumbent's remaining service and requeue it at
+      // the *front* of its class (resume order within class is LCFS-PR on
+      // the preempted stack; any order is fine for class-level stats).
+      WaitingJob preempted = cur_job;
+      preempted.remaining = departure_time - now;
+      preempted.started = true;
+      queue[cur_class].push_front(preempted);
+      ++departure_gen;  // invalidate the in-flight departure event
+      enqueue(cls, job);
+      start_service();
+      return;
+    }
+    enqueue(cls, job);
+  }
+
+  void on_departure(const Event& e) {
+    if (!busy || e.b != departure_gen) return;  // stale (preempted) event
+    const std::size_t cls = cur_class;
+    if (warm) {
+      ++completions[cls];
+      sojourn_stat[cls].push(now - cur_job.class_arrival);
+    }
+    set_count(cls, -1);
+
+    // Feedback routing: job may re-enter as another class.
+    if (!opt.feedback.empty()) {
+      const auto& row = opt.feedback[cls];
+      double u = rng.uniform();
+      for (std::size_t k = 0; k < n; ++k) {
+        u -= row[k];
+        if (u < 0.0) {
+          set_count(k, +1);
+          WaitingJob back;
+          back.class_arrival = now;
+          enqueue(k, back);
+          break;
+        }
+      }
+    }
+    start_service();
+  }
+
+  SimResult run() {
+    for (std::size_t j = 0; j < n; ++j) schedule_arrival(j);
+    const double t_end = opt.warmup + opt.horizon;
+
+    while (!events.empty() && events.top().time <= t_end) {
+      const Event e = events.pop();
+      now = e.time;
+      if (!warm && now >= opt.warmup) reset_statistics();
+      if (e.type == kArrival)
+        on_arrival(e.a);
+      else
+        on_departure(e);
+    }
+    now = t_end;
+
+    SimResult out;
+    out.per_class.resize(n);
+    out.time_simulated = opt.horizon;
+    for (std::size_t j = 0; j < n; ++j) {
+      auto& s = out.per_class[j];
+      s.mean_in_system = count_ta[j].finish(t_end);
+      s.mean_wait = wait_stat[j].mean();
+      s.mean_sojourn = sojourn_stat[j].mean();
+      s.completions = completions[j];
+      s.throughput = static_cast<double>(completions[j]) / opt.horizon;
+      out.cost_rate += classes[j].holding_cost * s.mean_in_system;
+    }
+    out.utilization = busy_ta.finish(t_end);
+    return out;
+  }
+
+  void reset_statistics() {
+    warm = true;
+    for (std::size_t j = 0; j < n; ++j) count_ta[j].reset(now);
+    busy_ta.reset(now);
+  }
+};
+
+}  // namespace
+
+SimResult simulate_mg1(const std::vector<ClassSpec>& classes,
+                       const SimOptions& options, Rng& rng) {
+  Sim sim(classes, options, rng);
+  return sim.run();
+}
+
+}  // namespace stosched::queueing

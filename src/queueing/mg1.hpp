@@ -1,0 +1,75 @@
+// mg1.hpp — multiclass M/G/1 queue simulation (survey §3).
+//
+// N job classes share one server: class j arrives Poisson(α_j), brings i.i.d.
+// service from G_j, and costs c_j per unit time in the system. The module
+// simulates the disciplines the survey's results speak to:
+//   * nonpreemptive static priority (the cµ rule's setting [15]),
+//   * preemptive-resume static priority (optimal under exponential laws),
+//   * FCFS (the work-conserving baseline of the conservation laws [14]),
+// optionally with Markovian (Bernoulli) feedback routing — Klimov's model
+// [24] — under nonpreemptive priorities.
+//
+// Estimation: time-averaged number-in-system per class (warm-up discarded),
+// per-visit waits, server utilization. The experiments validate these
+// against Pollaczek–Khinchine and Cobham closed forms (mg1_analytic.hpp),
+// so the simulator itself is under analytic test, not just eyeballed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dist/distribution.hpp"
+#include "util/rng.hpp"
+
+namespace stosched::queueing {
+
+/// One job class of the multiclass queue.
+struct ClassSpec {
+  double arrival_rate = 0.0;  ///< Poisson rate α_j
+  DistPtr service;            ///< service law G_j
+  double holding_cost = 1.0;  ///< c_j per unit time in system
+};
+
+/// Traffic intensity ρ = Σ α_j E[S_j].
+double traffic_intensity(const std::vector<ClassSpec>& classes);
+
+enum class Discipline {
+  kFcfs,
+  kPriorityNonPreemptive,
+  kPriorityPreemptiveResume,
+};
+
+/// Simulation controls.
+struct SimOptions {
+  double horizon = 2e5;  ///< measured time after warm-up
+  double warmup = 2e4;   ///< discarded transient
+  Discipline discipline = Discipline::kPriorityNonPreemptive;
+  /// Priority list, highest first; required for priority disciplines.
+  std::vector<std::size_t> priority;
+  /// Optional Bernoulli feedback: feedback[j][k] = P(class j -> class k on
+  /// service completion); row sums <= 1, deficit exits. Empty = no feedback.
+  /// Only supported with the nonpreemptive discipline (Klimov's model).
+  std::vector<std::vector<double>> feedback;
+};
+
+/// Per-class steady-state estimates.
+struct ClassStats {
+  double mean_in_system = 0.0;  ///< E[L_j], time average
+  double mean_wait = 0.0;       ///< E[wait before first service], per visit
+  double mean_sojourn = 0.0;    ///< E[time in class], per visit
+  std::size_t completions = 0;  ///< service completions counted
+  double throughput = 0.0;      ///< completions / horizon
+};
+
+struct SimResult {
+  std::vector<ClassStats> per_class;
+  double cost_rate = 0.0;     ///< Σ c_j E[L_j]
+  double utilization = 0.0;   ///< fraction of time the server is busy
+  double time_simulated = 0.0;
+};
+
+/// Run one replication. Deterministic in (classes, options, rng state).
+SimResult simulate_mg1(const std::vector<ClassSpec>& classes,
+                       const SimOptions& options, Rng& rng);
+
+}  // namespace stosched::queueing

@@ -1,0 +1,210 @@
+#include "queueing/network.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "des/event_queue.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace stosched::queueing {
+
+void NetworkConfig::validate() const {
+  STOSCHED_REQUIRE(!classes.empty(), "network needs at least one class");
+  STOSCHED_REQUIRE(num_stations >= 1, "network needs at least one station");
+  for (const auto& c : classes) {
+    STOSCHED_REQUIRE(c.station < num_stations, "class station out of range");
+    STOSCHED_REQUIRE(c.service_mean > 0.0, "service mean must be positive");
+    STOSCHED_REQUIRE(c.next == NetworkClass::kExit || c.next < classes.size(),
+                     "route target out of range");
+    STOSCHED_REQUIRE(c.arrival_rate >= 0.0, "arrival rate must be >= 0");
+  }
+  if (!station_priority.empty()) {
+    STOSCHED_REQUIRE(station_priority.size() == num_stations,
+                     "per-station priority shape mismatch");
+    for (std::size_t st = 0; st < num_stations; ++st) {
+      for (const std::size_t cls : station_priority[st]) {
+        STOSCHED_REQUIRE(cls < classes.size(), "priority class out of range");
+        STOSCHED_REQUIRE(classes[cls].station == st,
+                         "priority lists classes of another station");
+      }
+    }
+  }
+}
+
+std::vector<double> station_intensities(const NetworkConfig& config) {
+  config.validate();
+  // Effective class rates along deterministic routes: accumulate from
+  // external arrivals down each chain.
+  std::vector<double> rate(config.classes.size(), 0.0);
+  for (std::size_t c = 0; c < config.classes.size(); ++c) {
+    double lambda = config.classes[c].arrival_rate;
+    if (lambda <= 0.0) continue;
+    std::size_t cur = c, hops = 0;
+    while (cur != NetworkClass::kExit) {
+      rate[cur] += lambda;
+      cur = config.classes[cur].next;
+      STOSCHED_REQUIRE(++hops <= config.classes.size(),
+                       "routes must be acyclic chains");
+    }
+  }
+  std::vector<double> rho(config.num_stations, 0.0);
+  for (std::size_t c = 0; c < config.classes.size(); ++c)
+    rho[config.classes[c].station] += rate[c] * config.classes[c].service_mean;
+  return rho;
+}
+
+namespace {
+
+constexpr std::uint32_t kArrival = 0;
+constexpr std::uint32_t kServiceDone = 1;
+constexpr std::uint32_t kSample = 2;
+
+}  // namespace
+
+NetworkTrace simulate_network(const NetworkConfig& config, double horizon,
+                              std::size_t samples, Rng& rng) {
+  config.validate();
+  STOSCHED_REQUIRE(horizon > 0.0 && samples >= 2, "need a horizon and samples");
+  const std::size_t nc = config.classes.size();
+  const std::size_t ns = config.num_stations;
+  const bool fcfs = config.station_priority.empty();
+
+  EventQueue events;
+  // Per class FIFO (arrival times); per station FCFS order (class ids).
+  std::vector<std::deque<double>> queue(nc);
+  std::vector<std::deque<std::size_t>> station_fifo(ns);
+  std::vector<char> busy(ns, 0);
+  std::vector<std::size_t> serving(ns, 0);  // class being served
+  std::vector<std::size_t> rank(nc, 0);
+  if (!fcfs) {
+    for (std::size_t st = 0; st < ns; ++st)
+      for (std::size_t pos = 0; pos < config.station_priority[st].size(); ++pos)
+        rank[config.station_priority[st][pos]] = pos;
+  }
+
+  long total_jobs = 0;
+  TimeAverage total_ta;
+  total_ta.observe(0.0, 0.0);
+  double now = 0.0;
+
+  auto start_if_idle = [&](std::size_t st) {
+    if (busy[st]) return;
+    std::size_t pick = SIZE_MAX;
+    if (fcfs) {
+      if (!station_fifo[st].empty()) {
+        pick = station_fifo[st].front();
+        station_fifo[st].pop_front();
+      }
+    } else {
+      for (const std::size_t cls : config.station_priority[st]) {
+        if (!queue[cls].empty()) {
+          pick = cls;
+          break;
+        }
+      }
+    }
+    if (pick == SIZE_MAX) return;
+    STOSCHED_ASSERT(!queue[pick].empty(), "station FIFO out of sync");
+    queue[pick].pop_front();
+    busy[st] = 1;
+    serving[st] = pick;
+    events.push(now + rng.exponential(1.0 / config.classes[pick].service_mean),
+                kServiceDone, static_cast<std::uint32_t>(st));
+  };
+
+  auto enqueue_job = [&](std::size_t cls) {
+    queue[cls].push_back(now);
+    if (fcfs) station_fifo[config.classes[cls].station].push_back(cls);
+    start_if_idle(config.classes[cls].station);
+  };
+
+  for (std::size_t c = 0; c < nc; ++c)
+    if (config.classes[c].arrival_rate > 0.0)
+      events.push(rng.exponential(config.classes[c].arrival_rate), kArrival,
+                  static_cast<std::uint32_t>(c));
+  for (std::size_t s = 1; s <= samples; ++s)
+    events.push(horizon * static_cast<double>(s) / static_cast<double>(samples),
+                kSample, 0);
+
+  NetworkTrace trace;
+  trace.times.reserve(samples);
+  trace.total_jobs.reserve(samples);
+
+  while (!events.empty() && events.top().time <= horizon) {
+    const Event e = events.pop();
+    now = e.time;
+    switch (e.type) {
+      case kArrival: {
+        const auto cls = static_cast<std::size_t>(e.a);
+        events.push(now + rng.exponential(config.classes[cls].arrival_rate),
+                    kArrival, e.a);
+        ++total_jobs;
+        total_ta.observe(now, static_cast<double>(total_jobs));
+        enqueue_job(cls);
+        break;
+      }
+      case kServiceDone: {
+        const auto st = static_cast<std::size_t>(e.a);
+        const std::size_t cls = serving[st];
+        busy[st] = 0;
+        const std::size_t next = config.classes[cls].next;
+        if (next == NetworkClass::kExit) {
+          --total_jobs;
+          total_ta.observe(now, static_cast<double>(total_jobs));
+        } else {
+          enqueue_job(next);
+        }
+        start_if_idle(st);
+        break;
+      }
+      case kSample:
+        trace.times.push_back(now);
+        trace.total_jobs.push_back(static_cast<double>(total_jobs));
+        break;
+    }
+  }
+
+  trace.mean_total = total_ta.finish(horizon);
+  trace.final_total = trace.total_jobs.empty() ? 0.0 : trace.total_jobs.back();
+
+  // Least-squares slope of the sampled totals.
+  const std::size_t m = trace.times.size();
+  if (m >= 2) {
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      sx += trace.times[i];
+      sy += trace.total_jobs[i];
+      sxx += trace.times[i] * trace.times[i];
+      sxy += trace.times[i] * trace.total_jobs[i];
+    }
+    const double d = static_cast<double>(m) * sxx - sx * sx;
+    trace.growth_rate = d > 0.0 ? (static_cast<double>(m) * sxy - sx * sy) / d
+                                : 0.0;
+  }
+  return trace;
+}
+
+NetworkConfig lu_kumar_network(double lambda, double m1, double m2, double m3,
+                               double m4, bool bad_priority) {
+  NetworkConfig cfg;
+  cfg.num_stations = 2;
+  cfg.classes = {
+      // class 0: station A, feeds class 1
+      {0, m1, 1, lambda},
+      // class 1: station B, feeds class 2
+      {1, m2, 2, 0.0},
+      // class 2: station B, feeds class 3
+      {1, m3, 3, 0.0},
+      // class 3: station A, exits
+      {0, m4, NetworkClass::kExit, 0.0},
+  };
+  if (bad_priority) {
+    // The destabilizing pair: 4 over 1 at A (classes 3 > 0), 2 over 3 at B
+    // (classes 1 > 2).
+    cfg.station_priority = {{3, 0}, {1, 2}};
+  }
+  return cfg;
+}
+
+}  // namespace stosched::queueing

@@ -1,0 +1,71 @@
+// network.hpp — multistation multiclass queueing networks and the stability
+// problem (survey §3, [9]).
+//
+// The survey highlights that for MQNs with multiple stations "in general it
+// is not known what conditions on model parameters ensure that a given
+// policy is stable". The canonical demonstration is the Lu–Kumar network:
+// one route through four classes,
+//     class 1 @ station A -> class 2 @ station B ->
+//     class 3 @ station B -> class 4 @ station A,
+// with priorities (4 over 1 at A, 2 over 3 at B). Even when both stations
+// satisfy ρ < 1, the priority pair starves itself through a "virtual
+// station" effect whenever λ (m2 + m4) > 1, and the backlog grows linearly.
+// FCFS at both stations is stable for this network. Experiment F6 reproduces
+// the divergence/stability contrast.
+//
+// The simulator handles general feed-forward-or-cyclic class routes over a
+// set of stations with exponential services, per-station nonpreemptive
+// priority or FCFS.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace stosched::queueing {
+
+/// One class of a multistation network.
+struct NetworkClass {
+  std::size_t station = 0;      ///< which station serves this class
+  double service_mean = 1.0;    ///< exponential mean
+  /// Next class on the route (kExit to leave the system).
+  std::size_t next = SIZE_MAX;
+  double arrival_rate = 0.0;    ///< external Poisson arrivals (0 = none)
+
+  static constexpr std::size_t kExit = SIZE_MAX;
+};
+
+struct NetworkConfig {
+  std::vector<NetworkClass> classes;
+  std::size_t num_stations = 0;
+  /// Per-station priority over classes (highest first); empty = FCFS.
+  std::vector<std::vector<std::size_t>> station_priority;
+
+  void validate() const;
+};
+
+/// Snapshot series of total jobs in system, sampled at fixed intervals —
+/// the raw material of the stability plot (experiment F6).
+struct NetworkTrace {
+  std::vector<double> times;
+  std::vector<double> total_jobs;
+  double mean_total = 0.0;       ///< time-average over the run
+  double final_total = 0.0;
+  /// Least-squares slope of total_jobs vs time — ~0 for stable systems,
+  /// > 0 for divergence.
+  double growth_rate = 0.0;
+};
+
+NetworkTrace simulate_network(const NetworkConfig& config, double horizon,
+                              std::size_t samples, Rng& rng);
+
+/// The Lu–Kumar network with the destabilizing priorities (or FCFS).
+NetworkConfig lu_kumar_network(double lambda, double m1, double m2, double m3,
+                               double m4, bool bad_priority);
+
+/// Nominal per-station traffic intensities (ρ_A, ρ_B, ...) of a config.
+std::vector<double> station_intensities(const NetworkConfig& config);
+
+}  // namespace stosched::queueing

@@ -1,0 +1,137 @@
+#include "queueing/parallel_servers.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+
+#include "des/event_queue.hpp"
+#include "queueing/mg1_analytic.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace stosched::queueing {
+
+namespace {
+
+constexpr std::uint32_t kArrival = 0;
+constexpr std::uint32_t kDeparture = 1;
+
+}  // namespace
+
+MmmResult simulate_mmm(const std::vector<ClassSpec>& classes,
+                       unsigned servers,
+                       const std::vector<std::size_t>& priority,
+                       double horizon, double warmup, Rng& rng) {
+  const std::size_t n = classes.size();
+  STOSCHED_REQUIRE(n >= 1, "need at least one class");
+  STOSCHED_REQUIRE(servers >= 1, "need at least one server");
+  STOSCHED_REQUIRE(priority.size() == n, "priority must cover all classes");
+
+  std::vector<std::size_t> rank(n);
+  for (std::size_t pos = 0; pos < n; ++pos) rank[priority[pos]] = pos;
+
+  EventQueue events;
+  std::vector<std::deque<double>> queue(n);  // arrival times per class
+  std::vector<long> in_system(n, 0);
+  std::vector<TimeAverage> count_ta(n);
+  TimeAverage busy_ta;
+  unsigned busy = 0;
+  double now = 0.0;
+  bool warm = false;
+
+  for (std::size_t j = 0; j < n; ++j) count_ta[j].observe(0.0, 0.0);
+  busy_ta.observe(0.0, 0.0);
+
+  auto bump = [&](std::size_t cls, long d) {
+    in_system[cls] += d;
+    STOSCHED_ASSERT(in_system[cls] >= 0, "negative class population");
+    count_ta[cls].observe(now, static_cast<double>(in_system[cls]));
+  };
+
+  auto start_if_possible = [&]() {
+    while (busy < servers) {
+      std::size_t best = SIZE_MAX;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (queue[j].empty()) continue;
+        if (best == SIZE_MAX || rank[j] < rank[best]) best = j;
+      }
+      if (best == SIZE_MAX) break;
+      queue[best].pop_front();
+      ++busy;
+      busy_ta.observe(now, static_cast<double>(busy));
+      events.push(now + classes[best].service->sample(rng), kDeparture,
+                  static_cast<std::uint32_t>(best));
+    }
+  };
+
+  for (std::size_t j = 0; j < n; ++j)
+    if (classes[j].arrival_rate > 0.0)
+      events.push(rng.exponential(classes[j].arrival_rate), kArrival,
+                  static_cast<std::uint32_t>(j));
+
+  const double t_end = warmup + horizon;
+  while (!events.empty() && events.top().time <= t_end) {
+    const Event e = events.pop();
+    now = e.time;
+    if (!warm && now >= warmup) {
+      warm = true;
+      for (auto& ta : count_ta) ta.reset(now);
+      busy_ta.reset(now);
+    }
+    const auto cls = static_cast<std::size_t>(e.a);
+    if (e.type == kArrival) {
+      events.push(now + rng.exponential(classes[cls].arrival_rate), kArrival,
+                  e.a);
+      bump(cls, +1);
+      queue[cls].push_back(now);
+      start_if_possible();
+    } else {
+      bump(cls, -1);
+      --busy;
+      busy_ta.observe(now, static_cast<double>(busy));
+      start_if_possible();
+    }
+  }
+  now = t_end;
+
+  MmmResult out;
+  out.mean_in_system.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.mean_in_system[j] = count_ta[j].finish(t_end);
+    out.cost_rate += classes[j].holding_cost * out.mean_in_system[j];
+  }
+  out.utilization = busy_ta.finish(t_end) / servers;
+  return out;
+}
+
+double pooled_lower_bound(const std::vector<ClassSpec>& classes,
+                          unsigned servers) {
+  STOSCHED_REQUIRE(servers >= 1, "need at least one server");
+  // Pooled system: one server running `servers` times faster. Exponential
+  // services scale exactly: mean/m, second moment 2 (mean/m)^2.
+  std::vector<ClassSpec> pooled;
+  pooled.reserve(classes.size());
+  for (const auto& c : classes) {
+    ClassSpec p = c;
+    p.service = exponential_dist(servers / c.service->mean());
+    pooled.push_back(std::move(p));
+  }
+  STOSCHED_REQUIRE(traffic_intensity(pooled) < 1.0,
+                   "pooled system must be stable");
+  // cµ is optimal for the pooled M/M/1; its cost is a valid lower bound for
+  // the queueing (waiting) portion. Add the in-service population of the
+  // original system (ρ_j per class, unaffected by scheduling) to keep the
+  // bound in number-in-system units comparable with simulate_mmm.
+  const auto order = cmu_order(pooled);
+  const auto waits = cobham_waits(pooled, order);
+  double bound = 0.0;
+  for (std::size_t j = 0; j < classes.size(); ++j) {
+    const double lq = pooled[j].arrival_rate * waits[j];  // waiting jobs
+    const double in_service =
+        classes[j].arrival_rate * classes[j].service->mean();  // original ρ_j
+    bound += classes[j].holding_cost * (lq + in_service / servers);
+  }
+  return bound;
+}
+
+}  // namespace stosched::queueing

@@ -1,0 +1,223 @@
+#include "queueing/polling.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+
+#include "des/event_queue.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace stosched::queueing {
+
+namespace {
+
+constexpr std::uint32_t kArrival = 0;
+constexpr std::uint32_t kServiceDone = 1;
+constexpr std::uint32_t kSwitchDone = 2;
+
+enum class ServerState { kIdle, kSwitching, kServing };
+
+struct PollingSim {
+  const std::vector<ClassSpec>& classes;
+  const PollingOptions& opt;
+  Rng& rng;
+  std::size_t n;
+
+  EventQueue events;
+  std::vector<std::deque<double>> queue;
+  std::vector<long> in_system;
+  std::vector<TimeAverage> count_ta;
+  TimeAverage switch_ta, serve_ta;
+  std::vector<double> cmu;  // static priority index per queue
+
+  ServerState state = ServerState::kIdle;
+  std::size_t at = 0;       // queue the server is at (or moving toward)
+  std::size_t gate = 0;     // gated discipline: jobs admitted this visit
+  std::size_t served_this_visit = 0;
+  double now = 0.0;
+  bool warm = false;
+
+  PollingSim(const std::vector<ClassSpec>& c, const PollingOptions& o, Rng& r)
+      : classes(c), opt(o), rng(r), n(c.size()) {
+    STOSCHED_REQUIRE(n >= 1, "need at least one queue");
+    STOSCHED_REQUIRE(opt.switchover != nullptr, "switchover law required");
+    queue.resize(n);
+    in_system.assign(n, 0);
+    count_ta.resize(n);
+    cmu.resize(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      count_ta[j].observe(0.0, 0.0);
+      cmu[j] = classes[j].holding_cost / classes[j].service->mean();
+    }
+    switch_ta.observe(0.0, 0.0);
+    serve_ta.observe(0.0, 0.0);
+  }
+
+  void bump(std::size_t q, long d) {
+    in_system[q] += d;
+    STOSCHED_ASSERT(in_system[q] >= 0, "negative queue population");
+    count_ta[q].observe(now, static_cast<double>(in_system[q]));
+  }
+
+  void set_state(ServerState s) {
+    state = s;
+    switch_ta.observe(now, s == ServerState::kSwitching ? 1.0 : 0.0);
+    serve_ta.observe(now, s == ServerState::kServing ? 1.0 : 0.0);
+  }
+
+  /// Queue the server should work on next, or SIZE_MAX to idle in place.
+  std::size_t choose_target() const {
+    if (opt.discipline == PollingDiscipline::kGreedyCmu) {
+      std::size_t best = SIZE_MAX;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (queue[j].empty()) continue;
+        if (best == SIZE_MAX || cmu[j] > cmu[best]) best = j;
+      }
+      return best;
+    }
+    // Cyclic order starting after the current position (so `at` itself is
+    // reconsidered last, after a full tour).
+    for (std::size_t step = 0; step < n; ++step) {
+      const std::size_t q = (at + 1 + step) % n;
+      if (!queue[q].empty()) return q;
+    }
+    return SIZE_MAX;
+  }
+
+  void start_service() {
+    const std::size_t q = at;
+    STOSCHED_ASSERT(!queue[q].empty(), "serving an empty queue");
+    queue[q].pop_front();
+    set_state(ServerState::kServing);
+    ++served_this_visit;
+    if (gate > 0) --gate;
+    events.push(now + classes[q].service->sample(rng), kServiceDone,
+                static_cast<std::uint32_t>(q));
+  }
+
+  void begin_switch(std::size_t target) {
+    at = target;
+    set_state(ServerState::kSwitching);
+    events.push(now + opt.switchover->sample(rng), kSwitchDone,
+                static_cast<std::uint32_t>(target));
+  }
+
+  /// Decide what to do when the server becomes free at `at`.
+  void decide() {
+    switch (opt.discipline) {
+      case PollingDiscipline::kExhaustive:
+        if (!queue[at].empty()) {
+          start_service();
+          return;
+        }
+        break;
+      case PollingDiscipline::kGated:
+        if (gate > 0 && !queue[at].empty()) {
+          start_service();
+          return;
+        }
+        break;
+      case PollingDiscipline::kLimited:
+        if (served_this_visit < opt.limit && !queue[at].empty()) {
+          start_service();
+          return;
+        }
+        break;
+      case PollingDiscipline::kGreedyCmu: {
+        const std::size_t target = choose_target();
+        if (target == SIZE_MAX) {
+          set_state(ServerState::kIdle);
+          return;
+        }
+        if (target == at) {
+          start_service();
+        } else {
+          begin_switch(target);
+        }
+        return;
+      }
+    }
+    // Visit over: move to the next nonempty queue (cyclic), or idle.
+    const std::size_t target = choose_target();
+    if (target == SIZE_MAX) {
+      set_state(ServerState::kIdle);
+      return;
+    }
+    begin_switch(target);
+  }
+
+  void on_poll() {
+    // Server finished switching and now polls queue `at`.
+    gate = queue[at].size();
+    served_this_visit = 0;
+    decide();
+  }
+
+  PollingResult run() {
+    for (std::size_t j = 0; j < n; ++j)
+      if (classes[j].arrival_rate > 0.0)
+        events.push(rng.exponential(classes[j].arrival_rate), kArrival,
+                    static_cast<std::uint32_t>(j));
+
+    const double t_end = opt.warmup + opt.horizon;
+    while (!events.empty() && events.top().time <= t_end) {
+      const Event e = events.pop();
+      now = e.time;
+      if (!warm && now >= opt.warmup) {
+        warm = true;
+        for (auto& ta : count_ta) ta.reset(now);
+        switch_ta.reset(now);
+        serve_ta.reset(now);
+      }
+      const auto q = static_cast<std::size_t>(e.a);
+      switch (e.type) {
+        case kArrival:
+          events.push(now + rng.exponential(classes[q].arrival_rate),
+                      kArrival, e.a);
+          bump(q, +1);
+          queue[q].push_back(now);
+          if (state == ServerState::kIdle) {
+            // The idle server reacts as if re-polling its current position.
+            if (q == at &&
+                opt.discipline != PollingDiscipline::kGreedyCmu) {
+              gate = queue[at].size();
+              served_this_visit = 0;
+              decide();
+            } else {
+              decide();
+            }
+          }
+          break;
+        case kServiceDone:
+          bump(q, -1);
+          decide();
+          break;
+        case kSwitchDone:
+          on_poll();
+          break;
+      }
+    }
+    now = t_end;
+
+    PollingResult out;
+    out.mean_in_system.resize(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      out.mean_in_system[j] = count_ta[j].finish(t_end);
+      out.cost_rate += classes[j].holding_cost * out.mean_in_system[j];
+    }
+    out.switching_fraction = switch_ta.finish(t_end);
+    out.serving_fraction = serve_ta.finish(t_end);
+    return out;
+  }
+};
+
+}  // namespace
+
+PollingResult simulate_polling(const std::vector<ClassSpec>& classes,
+                               const PollingOptions& options, Rng& rng) {
+  PollingSim sim(classes, options, rng);
+  return sim.run();
+}
+
+}  // namespace stosched::queueing

@@ -1,0 +1,45 @@
+// relaxation.hpp — Whittle's LP relaxation and the primal-dual index
+// heuristic (survey §2, [48, 7]).
+//
+// The time-average restless bandit admits an occupation-measure LP: per
+// project j, variables x_j(s, a) >= 0 with flow balance and normalization;
+// the activation budget couples projects through
+//     Σ_j Σ_s x_j(s, 1) = m.
+// Its optimum upper-bounds every admissible policy's average reward (the
+// policy's occupation measures are feasible), so it is the reference bound
+// in experiments F3/T8. The primal-dual heuristic of Bertsimas–Niño-Mora
+// [7] ranks project states by the *activity advantage at the optimal duals*:
+//     adv_j(s) = [r1_j(s) + P1_j h_j](s) - [r0_j(s) + P0_j h_j](s),
+// where h_j are the flow-balance duals. Activating the m largest advantages
+// reproduces Whittle's rule on indexable projects (the advantage crosses
+// zero at the critical subsidy) but remains defined when indexability fails.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "restless/restless_project.hpp"
+
+namespace stosched::restless {
+
+/// Output of the relaxation solve.
+struct RelaxationResult {
+  double bound = 0.0;  ///< optimal relaxed average reward (total, all projects)
+  /// advantage[j][s] — the primal-dual priority of project j in state s.
+  std::vector<std::vector<double>> advantage;
+  /// activity[j][s] — relaxed stationary probability of being active in s.
+  std::vector<std::vector<double>> activity;
+};
+
+/// Solve the coupled occupation-measure LP for the instance.
+RelaxationResult solve_relaxation(const RestlessInstance& inst);
+
+/// Symmetric shortcut: for `copies` identical projects with budget m, the
+/// relaxation decouples into one project with activity rate m/copies; the
+/// bound scales linearly. Returns the same structure with advantage/activity
+/// for the prototype only.
+RelaxationResult solve_relaxation_symmetric(const RestlessProject& proto,
+                                            std::size_t copies,
+                                            std::size_t activate);
+
+}  // namespace stosched::restless

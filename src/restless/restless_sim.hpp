@@ -1,0 +1,40 @@
+// restless_sim.hpp — playing restless bandits (survey §2, F3/T8).
+//
+// Each epoch the policy activates exactly m of the N projects; all projects
+// transition (active or passive law). Policies are per-state priority tables
+// (Whittle index, myopic advantage, LP primal-dual advantage) or uniform
+// random. Small instances are also solved exactly on the product MDP with
+// subset actions, giving a noise-free optimum for T8.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "restless/restless_project.hpp"
+
+namespace stosched::restless {
+
+/// Per-project priority tables: priority[j][s].
+using PriorityTable = std::vector<std::vector<double>>;
+
+/// Long-run average reward (per epoch, total across projects) of the
+/// top-m priority policy, estimated over `horizon` epochs after `burnin`.
+double simulate_priority_policy(const RestlessInstance& inst,
+                                const PriorityTable& priority,
+                                std::size_t horizon, std::size_t burnin,
+                                Rng& rng);
+
+/// Same, activating a uniformly random m-subset each epoch.
+double simulate_random_policy(const RestlessInstance& inst,
+                              std::size_t horizon, std::size_t burnin,
+                              Rng& rng);
+
+/// Exact optimal average reward via relative value iteration on the product
+/// MDP with all C(N, m) activation subsets. Tiny instances only.
+double optimal_average_reward(const RestlessInstance& inst);
+
+/// Exact average reward of the top-m priority policy on the product chain.
+double priority_policy_average_reward(const RestlessInstance& inst,
+                                      const PriorityTable& priority);
+
+}  // namespace stosched::restless

@@ -1,0 +1,129 @@
+#include "restless/whittle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "mdp/mdp.hpp"
+#include "mdp/solve.hpp"
+#include "util/check.hpp"
+
+namespace stosched::restless {
+
+namespace {
+
+/// Single-project subsidy MDP: action 0 = passive (reward r0 + W),
+/// action 1 = active (reward r1).
+mdp::FiniteMdp subsidy_mdp(const RestlessProject& p, double subsidy) {
+  const std::size_t n = p.num_states();
+  mdp::FiniteMdp m(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    mdp::Action passive;
+    passive.reward = p.reward_passive[s] + subsidy;
+    passive.label = 0;
+    mdp::Action active;
+    active.reward = p.reward_active[s];
+    active.label = 1;
+    for (std::size_t t = 0; t < n; ++t) {
+      if (p.trans_passive[s][t] > 0.0)
+        passive.transitions.push_back({t, p.trans_passive[s][t]});
+      if (p.trans_active[s][t] > 0.0)
+        active.transitions.push_back({t, p.trans_active[s][t]});
+    }
+    m.add_action(s, std::move(passive));
+    m.add_action(s, std::move(active));
+  }
+  return m;
+}
+
+}  // namespace
+
+std::vector<char> passive_set(const RestlessProject& p, double subsidy,
+                              double tol) {
+  p.validate();
+  const auto m = subsidy_mdp(p, subsidy);
+  const auto sol = mdp::relative_value_iteration(m, tol);
+  const std::size_t n = p.num_states();
+  std::vector<char> passive(n, 0);
+  for (std::size_t s = 0; s < n; ++s) {
+    double q_passive = p.reward_passive[s] + subsidy;
+    double q_active = p.reward_active[s];
+    for (std::size_t t = 0; t < n; ++t) {
+      q_passive += p.trans_passive[s][t] * sol.bias[t];
+      q_active += p.trans_active[s][t] * sol.bias[t];
+    }
+    // Ties resolve to passive (standard convention: the index is the
+    // smallest subsidy making passivity optimal).
+    passive[s] = q_passive >= q_active - 1e-9 ? 1 : 0;
+  }
+  return passive;
+}
+
+std::vector<double> myopic_index(const RestlessProject& p) {
+  std::vector<double> idx(p.num_states());
+  for (std::size_t s = 0; s < p.num_states(); ++s)
+    idx[s] = p.reward_active[s] - p.reward_passive[s];
+  return idx;
+}
+
+WhittleResult whittle_index(const RestlessProject& p, std::size_t grid,
+                            double tol) {
+  p.validate();
+  STOSCHED_REQUIRE(grid >= 3, "subsidy grid needs at least 3 points");
+  const std::size_t n = p.num_states();
+  WhittleResult out;
+  out.index.assign(n, 0.0);
+  out.grid_points = grid;
+
+  // Bracket the subsidy range: expand until no state is passive at `lo` and
+  // all are passive at `hi`.
+  double r_span = 0.0;
+  for (std::size_t s = 0; s < n; ++s)
+    r_span = std::max(r_span, std::abs(p.reward_active[s]) +
+                                  std::abs(p.reward_passive[s]));
+  double lo = -2.0 * r_span - 1.0, hi = 2.0 * r_span + 1.0;
+  for (int tries = 0; tries < 8; ++tries) {
+    const auto at_lo = passive_set(p, lo);
+    if (std::none_of(at_lo.begin(), at_lo.end(), [](char c) { return c; }))
+      break;
+    lo = 2.0 * lo - 1.0;
+  }
+  for (int tries = 0; tries < 8; ++tries) {
+    const auto at_hi = passive_set(p, hi);
+    if (std::all_of(at_hi.begin(), at_hi.end(), [](char c) { return c; }))
+      break;
+    hi = 2.0 * hi + 1.0;
+  }
+
+  // Nesting check along the grid: passive sets must grow monotonically.
+  out.indexable = true;
+  std::vector<char> prev(n, 0);
+  for (std::size_t g = 0; g < grid; ++g) {
+    const double w =
+        lo + (hi - lo) * static_cast<double>(g) / static_cast<double>(grid - 1);
+    const auto cur = passive_set(p, w);
+    for (std::size_t s = 0; s < n; ++s)
+      if (prev[s] && !cur[s]) out.indexable = false;
+    prev = cur;
+  }
+  if (!std::all_of(prev.begin(), prev.end(), [](char c) { return c; }))
+    out.indexable = false;  // range failed to capture all thresholds
+
+  if (!out.indexable) return out;
+
+  // Per-state bisection for the critical subsidy.
+  for (std::size_t s = 0; s < n; ++s) {
+    double a = lo, b = hi;
+    while (b - a > tol) {
+      const double mid = 0.5 * (a + b);
+      if (passive_set(p, mid)[s])
+        b = mid;
+      else
+        a = mid;
+    }
+    out.index[s] = 0.5 * (a + b);
+  }
+  return out;
+}
+
+}  // namespace stosched::restless

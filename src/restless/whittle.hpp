@@ -1,0 +1,47 @@
+// whittle.hpp — indexability and the Whittle index (survey §2, [48]).
+//
+// Whittle's construction: relax "activate exactly m projects each epoch" to
+// "m on average", price activity with a Lagrangian subsidy W paid for
+// passivity, and decouple into single-project subsidy problems
+//     max  time-average of [ r1(s) 1{active} + (r0(s) + W) 1{passive} ].
+// The project is *indexable* if the optimal passive set grows monotonically
+// from empty to everything as W sweeps (-inf, +inf); the Whittle index of
+// state s is the critical subsidy at which s switches sides. The index rule
+// activates the m projects with the largest current indices; Weber–Weiss
+// [44] proved asymptotic optimality under indexability + a mixing condition
+// (experiment F3 measures exactly this).
+//
+// Computation: for a given W the subsidy problem is solved by relative value
+// iteration (average-reward criterion, matching Whittle's formulation); the
+// index is found per state by bisection, and indexability is verified by
+// checking that passive sets are nested along a subsidy grid.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "restless/restless_project.hpp"
+
+namespace stosched::restless {
+
+/// Result of the Whittle computation for one project.
+struct WhittleResult {
+  bool indexable = false;
+  std::vector<double> index;       ///< per state; meaningful iff indexable
+  std::size_t grid_points = 0;     ///< subsidy grid used for the nesting check
+};
+
+/// Optimal passive set of the single-project subsidy problem at subsidy W
+/// (average-reward criterion). Ties resolve to passive.
+std::vector<char> passive_set(const RestlessProject& p, double subsidy,
+                              double tol = 1e-10);
+
+/// Compute indexability + Whittle indices. `grid` controls the nesting
+/// check resolution; bisection refines each index to `tol`.
+WhittleResult whittle_index(const RestlessProject& p, std::size_t grid = 81,
+                            double tol = 1e-7);
+
+/// Myopic index: one-step activity advantage r1(s) - r0(s).
+std::vector<double> myopic_index(const RestlessProject& p);
+
+}  // namespace stosched::restless

@@ -1,0 +1,64 @@
+// check.hpp — error handling primitives used across libstosched.
+//
+// The library distinguishes two failure categories:
+//   * contract violations by the caller (bad arguments, inconsistent model
+//     definitions) -> throw std::invalid_argument / std::logic_error via
+//     STOSCHED_REQUIRE, always on, cheap to test;
+//   * internal invariant breaks (algorithm bugs) -> STOSCHED_ASSERT, compiled
+//     out in release builds only if STOSCHED_NO_ASSERT is defined. Numerical
+//     simulation bugs are notoriously silent, so asserts default to ON even
+//     in Release.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace stosched {
+
+/// Exception thrown when an internal invariant fails. Deriving from
+/// std::logic_error keeps it catchable by generic handlers while remaining
+/// distinguishable in tests.
+class invariant_error : public std::logic_error {
+ public:
+  explicit invariant_error(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_require(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_assert(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw invariant_error(os.str());
+}
+
+}  // namespace detail
+}  // namespace stosched
+
+/// Validate a caller-supplied precondition; always enabled.
+#define STOSCHED_REQUIRE(cond, msg)                                       \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::stosched::detail::throw_require(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Validate an internal invariant; enabled unless STOSCHED_NO_ASSERT.
+#ifdef STOSCHED_NO_ASSERT
+#define STOSCHED_ASSERT(cond, msg) ((void)0)
+#else
+#define STOSCHED_ASSERT(cond, msg)                                       \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::stosched::detail::throw_assert(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+#endif

@@ -1,0 +1,43 @@
+// parallel.hpp — deterministic Monte-Carlo replication driver.
+//
+// Simulation experiments repeat independent replications and aggregate a
+// scalar (or small vector) outcome. The driver:
+//
+//   * derives one RNG stream per replication from a master seed, so results
+//     are a pure function of (seed, replications) — the schedule of
+//     replications onto threads is irrelevant;
+//   * fans replications out over OpenMP threads when available (the guides'
+//     explicit-parallelism doctrine: the caller states the parallel shape,
+//     nothing is implicit), falling back to serial execution;
+//   * merges per-thread RunningStat accumulators with the exact
+//     Chan–Golub–LeVeque combination, so the aggregate mean/variance is
+//     independent of the thread partition up to floating-point association
+//     order of the *merge tree*, which we fix by merging in thread order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace stosched {
+
+/// Run `replications` independent replications of `body`, where
+/// `body(rep_index, rng)` returns the replication's scalar outcome. Returns
+/// the merged statistics. Deterministic for fixed (seed, replications).
+RunningStat monte_carlo(std::size_t replications, std::uint64_t seed,
+                        const std::function<double(std::size_t, Rng&)>& body);
+
+/// Vector-valued variant: `body(rep, rng, out)` fills `out` (size `dims`,
+/// already zeroed). Returns one RunningStat per dimension.
+std::vector<RunningStat> monte_carlo_vec(
+    std::size_t replications, std::uint64_t seed, std::size_t dims,
+    const std::function<void(std::size_t, Rng&, std::vector<double>&)>& body);
+
+/// Number of worker threads the driver will use (1 if OpenMP is absent).
+unsigned monte_carlo_threads() noexcept;
+
+}  // namespace stosched

@@ -1,0 +1,89 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace stosched {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+Table& Table::columns(std::vector<std::string> names) {
+  STOSCHED_REQUIRE(rows_.empty(), "define columns before adding rows");
+  header_ = std::move(names);
+  return *this;
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  STOSCHED_REQUIRE(cells.size() == header_.size(),
+                   "row width must match header");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+Table& Table::note(std::string text) {
+  notes_.push_back(std::move(text));
+  return *this;
+}
+
+Table& Table::verdict(bool pass, std::string what) {
+  verdicts_.push_back(std::string(pass ? "PASS" : "FAIL") + "  " +
+                      std::move(what));
+  all_pass_ = all_pass_ && pass;
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  os << "== " << title_ << " ==\n";
+  auto hline = [&] {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << '+' << std::string(width[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << "| " << std::setw(static_cast<int>(width[c])) << std::left
+         << row[c] << ' ';
+    os << "|\n";
+  };
+  hline();
+  print_row(header_);
+  hline();
+  for (const auto& row : rows_) print_row(row);
+  hline();
+  for (const auto& n : notes_) os << "  note: " << n << '\n';
+  for (const auto& v : verdicts_) os << "  check: " << v << '\n';
+  os << '\n';
+}
+
+std::string fmt(double x, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << x;
+  return os.str();
+}
+
+std::string fmt_pct(double x, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << 100.0 * x << '%';
+  return os.str();
+}
+
+std::string fmt_ci(double value, double half, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value << " ± "
+     << std::setprecision(precision) << half;
+  return os.str();
+}
+
+}  // namespace stosched

@@ -1,0 +1,140 @@
+// Tests for des/: heap ordering with tie-breaking (the determinism
+// guarantee), arity-parameterized property checks, and the Simulator
+// kernel's clock discipline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "des/event_queue.hpp"
+#include "des/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace stosched {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.push(3.0, 0);
+  q.push(1.0, 1);
+  q.push(2.0, 2);
+  EXPECT_EQ(q.pop().type, 1u);
+  EXPECT_EQ(q.pop().type, 2u);
+  EXPECT_EQ(q.pop().type, 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  for (std::uint32_t i = 0; i < 50; ++i) q.push(1.0, i);
+  for (std::uint32_t i = 0; i < 50; ++i) EXPECT_EQ(q.pop().type, i);
+}
+
+TEST(EventQueue, PayloadsSurvive) {
+  EventQueue q;
+  q.push(1.0, 7, 13, 99);
+  const Event e = q.pop();
+  EXPECT_EQ(e.type, 7u);
+  EXPECT_EQ(e.a, 13u);
+  EXPECT_EQ(e.b, 99u);
+}
+
+TEST(EventQueue, ClearResets) {
+  EventQueue q;
+  q.push(1.0, 0);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+template <unsigned A>
+void random_heap_property() {
+  DaryEventHeap<A> q;
+  Rng rng(42);
+  std::vector<double> times;
+  for (int i = 0; i < 5000; ++i) {
+    const double t = rng.uniform(0.0, 100.0);
+    times.push_back(t);
+    q.push(t, 0);
+  }
+  std::sort(times.begin(), times.end());
+  for (const double expected : times) {
+    ASSERT_FALSE(q.empty());
+    EXPECT_DOUBLE_EQ(q.pop().time, expected);
+  }
+}
+
+TEST(EventQueue, HeapPropertyBinary) { random_heap_property<2>(); }
+TEST(EventQueue, HeapPropertyQuad) { random_heap_property<4>(); }
+TEST(EventQueue, HeapPropertyOctal) { random_heap_property<8>(); }
+
+TEST(EventQueue, InterleavedPushPop) {
+  EventQueue q;
+  Rng rng(43);
+  double last = 0.0;
+  // Hold model: pop the min, push a new event later than the popped one.
+  for (int i = 0; i < 100; ++i) q.push(rng.uniform(0.0, 10.0), 0);
+  for (int i = 0; i < 10000; ++i) {
+    const Event e = q.pop();
+    EXPECT_GE(e.time, last);
+    last = e.time;
+    q.push(e.time + rng.uniform(0.0, 5.0), 0);
+  }
+}
+
+TEST(Simulator, DispatchesInOrderAndAdvancesClock) {
+  Simulator sim;
+  std::vector<double> seen;
+  sim.on(0, [&](const Event& e) {
+    EXPECT_DOUBLE_EQ(sim.now(), e.time);
+    seen.push_back(e.time);
+  });
+  sim.schedule_at(2.0, 0);
+  sim.schedule_at(1.0, 0);
+  sim.schedule_at(3.0, 0);
+  sim.run_until(10.0);
+  EXPECT_EQ(seen, (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+  EXPECT_EQ(sim.dispatched(), 3u);
+}
+
+TEST(Simulator, HandlersCanScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  sim.on(0, [&](const Event&) {
+    if (++count < 5) sim.schedule_in(1.0, 0);
+  });
+  sim.schedule_at(0.0, 0);
+  sim.run_until(100.0);
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+TEST(Simulator, EventsBeyondHorizonStayPending) {
+  Simulator sim;
+  int count = 0;
+  sim.on(0, [&](const Event&) { ++count; });
+  sim.schedule_at(1.0, 0);
+  sim.schedule_at(50.0, 0);
+  sim.run_until(10.0);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.on(0, [](const Event&) {});
+  sim.schedule_at(5.0, 0);
+  sim.run_until(5.0);
+  EXPECT_THROW(sim.schedule_at(1.0, 0), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_in(-1.0, 0), std::invalid_argument);
+}
+
+TEST(Simulator, MissingHandlerThrows) {
+  Simulator sim;
+  sim.schedule_at(1.0, 3);
+  EXPECT_THROW(sim.step(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stosched

@@ -1,0 +1,152 @@
+// Tests for dist/: every law's sampled moments must match its closed-form
+// moments (parameterized sweep), hazard classes must be correct, and the
+// discrete-support accessor must round-trip.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/distribution.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace stosched {
+namespace {
+
+struct LawCase {
+  std::string name;
+  DistPtr dist;
+  HazardClass hazard;
+};
+
+std::vector<LawCase> all_laws() {
+  return {
+      {"exp", exponential_dist(0.7), HazardClass::kConstant},
+      {"det", deterministic_dist(2.5), HazardClass::kIncreasing},
+      {"uniform", uniform_dist(1.0, 3.0), HazardClass::kIncreasing},
+      {"erlang", erlang_dist(3, 1.5), HazardClass::kIncreasing},
+      {"erlang1", erlang_dist(1, 2.0), HazardClass::kConstant},
+      {"hyperexp", hyperexp_dist({0.3, 0.7}, {2.0, 0.5}),
+       HazardClass::kDecreasing},
+      {"hyperexp2", hyperexp2_dist(2.0, 4.0), HazardClass::kDecreasing},
+      {"twopoint", two_point_dist(1.0, 0.6, 5.0), HazardClass::kNonMonotone},
+      {"weibull_ifr", weibull_dist(2.0, 1.0), HazardClass::kIncreasing},
+      {"weibull_dfr", weibull_dist(0.6, 1.0), HazardClass::kDecreasing},
+      {"lognormal", lognormal_dist(0.0, 0.5), HazardClass::kNonMonotone},
+      {"pareto", pareto_dist(1.0, 3.0), HazardClass::kDecreasing},
+      {"discrete", discrete_dist({1.0, 2.0, 4.0}, {0.2, 0.3, 0.5}),
+       HazardClass::kNonMonotone},
+  };
+}
+
+class LawMoments : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LawMoments, SampleMeanMatchesAnalytic) {
+  const auto laws = all_laws();
+  const auto& law = laws[GetParam()];
+  Rng rng(1234 + GetParam());
+  RunningStat s;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) s.push(law.dist->sample(rng));
+  const double mean = law.dist->mean();
+  // 6-sigma tolerance on the Monte-Carlo error.
+  const double tol =
+      6.0 * std::sqrt(law.dist->variance() / n) + 1e-12;
+  EXPECT_NEAR(s.mean(), mean, tol) << law.name;
+}
+
+TEST_P(LawMoments, SampleVarianceMatchesAnalytic) {
+  const auto laws = all_laws();
+  const auto& law = laws[GetParam()];
+  Rng rng(987 + GetParam());
+  RunningStat s;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) s.push(law.dist->sample(rng));
+  const double var = law.dist->variance();
+  EXPECT_NEAR(s.variance(), var, 0.05 * var + 1e-9) << law.name;
+}
+
+TEST_P(LawMoments, SecondMomentConsistent) {
+  const auto laws = all_laws();
+  const auto& law = laws[GetParam()];
+  const double m = law.dist->mean();
+  EXPECT_NEAR(law.dist->second_moment(), law.dist->variance() + m * m,
+              1e-9 * (1.0 + law.dist->second_moment()))
+      << law.name;
+}
+
+TEST_P(LawMoments, HazardClassAsDocumented) {
+  const auto laws = all_laws();
+  const auto& law = laws[GetParam()];
+  EXPECT_EQ(law.dist->hazard_class(), law.hazard) << law.name;
+}
+
+TEST_P(LawMoments, SamplesArePositive) {
+  const auto laws = all_laws();
+  const auto& law = laws[GetParam()];
+  Rng rng(55 + GetParam());
+  for (int i = 0; i < 10000; ++i) ASSERT_GT(law.dist->sample(rng), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLaws, LawMoments,
+                         ::testing::Range<std::size_t>(0, 13));
+
+TEST(Distribution, ScvMatchesDefinition) {
+  const auto d = hyperexp2_dist(2.0, 4.0);
+  EXPECT_NEAR(d->scv(), 4.0, 1e-9);
+  EXPECT_NEAR(exponential_dist(3.0)->scv(), 1.0, 1e-12);
+  EXPECT_NEAR(deterministic_dist(5.0)->scv(), 0.0, 1e-12);
+}
+
+TEST(Distribution, Hyperexp2HitsRequestedMoments) {
+  const auto d = hyperexp2_dist(3.0, 2.5);
+  EXPECT_NEAR(d->mean(), 3.0, 1e-9);
+  EXPECT_NEAR(d->variance() / 9.0, 2.5, 1e-9);
+}
+
+TEST(Distribution, ErlangEqualsGammaMoments) {
+  const auto d = erlang_dist(4, 2.0);
+  EXPECT_DOUBLE_EQ(d->mean(), 2.0);
+  EXPECT_DOUBLE_EQ(d->variance(), 1.0);
+}
+
+TEST(Distribution, ParetoInfiniteSecondMomentBelowAlpha2) {
+  const auto d = pareto_dist(1.0, 1.5);
+  EXPECT_TRUE(std::isinf(d->second_moment()));
+  EXPECT_NEAR(d->mean(), 3.0, 1e-12);
+}
+
+TEST(Distribution, DiscreteSupportRoundTrip) {
+  const auto d = discrete_dist({1.0, 3.0, 9.0}, {0.5, 0.25, 0.25});
+  std::vector<double> v, p;
+  ASSERT_TRUE(discrete_support(*d, &v, &p));
+  EXPECT_EQ(v, (std::vector<double>{1.0, 3.0, 9.0}));
+  EXPECT_EQ(p, (std::vector<double>{0.5, 0.25, 0.25}));
+  EXPECT_FALSE(discrete_support(*exponential_dist(1.0), nullptr, nullptr));
+}
+
+TEST(Distribution, TwoPointIsDiscrete) {
+  const auto d = two_point_dist(1.0, 0.75, 9.0);
+  std::vector<double> v, p;
+  ASSERT_TRUE(discrete_support(*d, &v, &p));
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_NEAR(d->mean(), 0.75 * 1.0 + 0.25 * 9.0, 1e-12);
+}
+
+TEST(Distribution, InvalidParametersThrow) {
+  EXPECT_THROW(exponential_dist(0.0), std::invalid_argument);
+  EXPECT_THROW(deterministic_dist(-1.0), std::invalid_argument);
+  EXPECT_THROW(uniform_dist(3.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(erlang_dist(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(hyperexp_dist({0.5, 0.6}, {1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(hyperexp2_dist(1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(two_point_dist(2.0, 0.5, 1.0), std::invalid_argument);
+  EXPECT_THROW(pareto_dist(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(discrete_dist({2.0, 1.0}, {0.5, 0.5}), std::invalid_argument);
+  EXPECT_THROW(discrete_dist({1.0, 2.0}, {0.5, 0.6}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stosched

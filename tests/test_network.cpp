@@ -1,0 +1,236 @@
+// Tests for queueing/ network, polling, parallel servers and fluid models
+// (survey §3): Lu–Kumar instability vs FCFS stability, M/M/m closed forms,
+// polling sanity, fluid trajectories and the fluid-stochastic coupling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "queueing/fluid.hpp"
+#include "queueing/network.hpp"
+#include "queueing/parallel_servers.hpp"
+#include "queueing/polling.hpp"
+#include "util/rng.hpp"
+
+namespace stosched::queueing {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Multistation network (Lu–Kumar).
+// ---------------------------------------------------------------------------
+
+TEST(Network, StationIntensitiesOfLuKumar) {
+  const auto cfg = lu_kumar_network(1.0, 0.01, 2.0 / 3.0, 0.01, 2.0 / 3.0,
+                                    /*bad_priority=*/true);
+  const auto rho = station_intensities(cfg);
+  ASSERT_EQ(rho.size(), 2u);
+  EXPECT_NEAR(rho[0], 0.01 + 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(rho[1], 2.0 / 3.0 + 0.01, 1e-12);
+  EXPECT_LT(rho[0], 1.0);
+  EXPECT_LT(rho[1], 1.0);
+}
+
+TEST(Network, BadPriorityDivergesFcfsDoesNot) {
+  // Both stations have rho < 1, yet m2 + m4 = 4/3 > 1 destabilizes the
+  // priority pair. FCFS stays put.
+  Rng r1(1), r2(2);
+  const double horizon = 30000.0;
+  const auto bad = simulate_network(
+      lu_kumar_network(1.0, 0.01, 2.0 / 3.0, 0.01, 2.0 / 3.0, true), horizon,
+      60, r1);
+  const auto fcfs = simulate_network(
+      lu_kumar_network(1.0, 0.01, 2.0 / 3.0, 0.01, 2.0 / 3.0, false), horizon,
+      60, r2);
+  EXPECT_GT(bad.growth_rate, 5.0 * std::max(1e-4, std::abs(fcfs.growth_rate)));
+  EXPECT_GT(bad.final_total, 10.0 * std::max(1.0, fcfs.final_total));
+}
+
+TEST(Network, SubcriticalSafePrioritiesStable) {
+  // Give priority to the *first* stage at each station; this drains safely.
+  auto cfg = lu_kumar_network(1.0, 0.01, 2.0 / 3.0, 0.01, 2.0 / 3.0, true);
+  cfg.station_priority = {{0, 3}, {2, 1}};
+  Rng rng(3);
+  const auto trace = simulate_network(cfg, 30000.0, 60, rng);
+  EXPECT_LT(trace.final_total, 200.0);
+}
+
+TEST(Network, ValidationCatchesCrossStationPriority) {
+  auto cfg = lu_kumar_network(1.0, 0.1, 0.5, 0.1, 0.5, true);
+  cfg.station_priority[0] = {1};  // class 1 lives at station B
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel servers.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelServers, MatchesErlangCMeanQueue) {
+  // M/M/2 with lambda = 1.2, mu = 1: Erlang-C closed form.
+  const double lambda = 1.2, mu = 1.0;
+  const unsigned m = 2;
+  const double a = lambda / mu;  // offered load
+  const double rho = a / m;
+  // Erlang C for m=2: C = a^2 / (2 (1 - rho)) / (1 + a + a^2/(2(1-rho))).
+  const double tail = a * a / (2.0 * (1.0 - rho));
+  const double c = tail / (1.0 + a + tail);
+  const double lq = c * rho / (1.0 - rho);
+  const double expected_l = lq + a;
+
+  std::vector<ClassSpec> classes{{lambda, exponential_dist(mu), 1.0}};
+  Rng rng(4);
+  const auto res = simulate_mmm(classes, m, {0}, 3e5, 3e4, rng);
+  EXPECT_NEAR(res.mean_in_system[0], expected_l, 0.05 * expected_l);
+  EXPECT_NEAR(res.utilization, rho, 0.02);
+}
+
+TEST(ParallelServers, PriorityShieldsTopClass) {
+  std::vector<ClassSpec> classes{{0.8, exponential_dist(1.0), 1.0},
+                                 {0.8, exponential_dist(1.0), 1.0}};
+  Rng rng(5);
+  const auto res = simulate_mmm(classes, 2, {0, 1}, 2e5, 2e4, rng);
+  EXPECT_LT(res.mean_in_system[0], res.mean_in_system[1]);
+}
+
+TEST(ParallelServers, PooledBoundIsALowerBound) {
+  std::vector<ClassSpec> classes{{0.9, exponential_dist(1.0), 2.0},
+                                 {0.8, exponential_dist(1.5), 1.0}};
+  const unsigned m = 2;
+  const double bound = pooled_lower_bound(classes, m);
+  // Simulated cµ priority cost must dominate the relaxation bound.
+  std::vector<std::size_t> order{0, 1};  // cµ: 2*1 vs 1*1.5 -> class 0 first
+  Rng rng(6);
+  const auto res = simulate_mmm(classes, m, order, 3e5, 3e4, rng);
+  EXPECT_GE(res.cost_rate, bound * 0.98);
+}
+
+// ---------------------------------------------------------------------------
+// Polling.
+// ---------------------------------------------------------------------------
+
+TEST(Polling, ZeroSwitchoverExhaustiveMatchesMg1Workload) {
+  // With near-zero switchovers, exhaustive polling of symmetric queues
+  // behaves like a work-conserving single server: total L close to M/M/1.
+  std::vector<ClassSpec> classes{{0.3, exponential_dist(1.0), 1.0},
+                                 {0.3, exponential_dist(1.0), 1.0}};
+  PollingOptions opt;
+  opt.discipline = PollingDiscipline::kExhaustive;
+  opt.switchover = deterministic_dist(1e-6);
+  opt.horizon = 3e5;
+  opt.warmup = 3e4;
+  Rng rng(7);
+  const auto res = simulate_polling(classes, opt, rng);
+  const double total = res.mean_in_system[0] + res.mean_in_system[1];
+  EXPECT_NEAR(total, 0.6 / 0.4, 0.12);  // M/M/1 with rho = 0.6
+  EXPECT_LT(res.switching_fraction, 0.02);
+}
+
+TEST(Polling, SetupsConsumeCapacity) {
+  std::vector<ClassSpec> classes{{0.3, exponential_dist(1.0), 1.0},
+                                 {0.3, exponential_dist(1.0), 1.0}};
+  PollingOptions small, big;
+  small.switchover = deterministic_dist(0.05);
+  big.switchover = deterministic_dist(1.0);
+  small.horizon = big.horizon = 2e5;
+  small.warmup = big.warmup = 2e4;
+  Rng r1(8), r2(9);
+  const auto rs = simulate_polling(classes, small, r1);
+  const auto rb = simulate_polling(classes, big, r2);
+  EXPECT_GT(rb.switching_fraction, rs.switching_fraction);
+  EXPECT_GT(rb.cost_rate, rs.cost_rate);
+}
+
+TEST(Polling, LimitedSwitchesMoreThanExhaustive) {
+  std::vector<ClassSpec> classes{{0.25, exponential_dist(1.0), 1.0},
+                                 {0.25, exponential_dist(1.0), 1.0}};
+  PollingOptions ex, lim;
+  ex.discipline = PollingDiscipline::kExhaustive;
+  lim.discipline = PollingDiscipline::kLimited;
+  lim.limit = 1;
+  ex.switchover = lim.switchover = deterministic_dist(0.3);
+  ex.horizon = lim.horizon = 2e5;
+  ex.warmup = lim.warmup = 2e4;
+  Rng r1(10), r2(11);
+  const auto re = simulate_polling(classes, ex, r1);
+  const auto rl = simulate_polling(classes, lim, r2);
+  EXPECT_GT(rl.switching_fraction, re.switching_fraction);
+}
+
+TEST(Polling, RequiresSwitchoverLaw) {
+  std::vector<ClassSpec> classes{{0.3, exponential_dist(1.0), 1.0}};
+  PollingOptions opt;  // no switchover set
+  Rng rng(12);
+  EXPECT_THROW(simulate_polling(classes, opt, rng), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Fluid model.
+// ---------------------------------------------------------------------------
+
+TEST(Fluid, SingleClassDrainTime) {
+  // q0 = 10, lambda = 0.2, mu = 1: drains at rate 0.8 -> t = 12.5.
+  std::vector<FluidClass> classes{{0.2, 1.0, 1.0}};
+  const auto traj = fluid_drain(classes, {10.0}, {0});
+  EXPECT_NEAR(traj.drain_time, 12.5, 1e-9);
+  // Cost integral of a triangle: c * q0 * T / 2.
+  EXPECT_NEAR(traj.cost_integral, 10.0 * 12.5 / 2.0, 1e-6);
+}
+
+TEST(Fluid, PriorityDrainsTopClassFirst) {
+  std::vector<FluidClass> classes{{0.0, 1.0, 2.0}, {0.0, 1.0, 1.0}};
+  const auto traj = fluid_drain(classes, {5.0, 5.0}, {0, 1});
+  // Class 0 empties at t=5 while class 1 untouched; then class 1 by t=10.
+  const auto at5 = traj.at(5.0);
+  EXPECT_NEAR(at5[0], 0.0, 1e-9);
+  EXPECT_NEAR(at5[1], 5.0, 1e-9);
+  EXPECT_NEAR(traj.drain_time, 10.0, 1e-9);
+}
+
+TEST(Fluid, CmuPriorityMinimizesCostAmongOrders) {
+  std::vector<FluidClass> classes{{0.1, 2.0, 1.0},   // cµ = 2
+                                  {0.1, 1.0, 3.0},   // cµ = 3
+                                  {0.1, 0.5, 1.0}};  // cµ = 0.5
+  const std::vector<double> q0{8.0, 8.0, 8.0};
+  const auto cmu = fluid_cmu_priority(classes);
+  const double best = fluid_drain(classes, q0, cmu).cost_integral;
+  std::vector<std::size_t> order{0, 1, 2};
+  std::sort(order.begin(), order.end());
+  do {
+    EXPECT_GE(fluid_drain(classes, q0, order).cost_integral, best - 1e-6);
+  } while (std::next_permutation(order.begin(), order.end()));
+}
+
+TEST(Fluid, ScaledStochasticPathTracksFluid) {
+  // Functional LLN: q(nt)/n near the fluid path for large n.
+  std::vector<FluidClass> classes{{0.3, 1.0, 2.0}, {0.2, 0.8, 1.0}};
+  const std::vector<std::size_t> priority{0, 1};
+  const double scale = 400.0;
+  const std::vector<double> q0{1.0, 1.5};
+  std::vector<double> q0_scaled{scale * 1.0, scale * 1.5};
+  const auto fluid =
+      fluid_drain(classes, q0, priority);
+
+  std::vector<double> sample_times;
+  for (int i = 1; i <= 8; ++i)
+    sample_times.push_back(fluid.drain_time * i / 10.0 * scale);
+  std::vector<std::size_t> init{static_cast<std::size_t>(q0_scaled[0]),
+                                static_cast<std::size_t>(q0_scaled[1])};
+  Rng rng(13);
+  const auto paths =
+      simulate_backlog_path(classes, init, priority, sample_times, rng);
+  for (std::size_t i = 0; i < sample_times.size(); ++i) {
+    const auto expected = fluid.at(sample_times[i] / scale);
+    for (std::size_t j = 0; j < 2; ++j)
+      EXPECT_NEAR(paths[i][j] / scale, expected[j],
+                  0.15 * (1.0 + expected[j]))
+          << "sample " << i << " class " << j;
+  }
+}
+
+TEST(Fluid, TrajectoryInterpolation) {
+  std::vector<FluidClass> classes{{0.0, 1.0, 1.0}};
+  const auto traj = fluid_drain(classes, {4.0}, {0});
+  EXPECT_NEAR(traj.at(2.0)[0], 2.0, 1e-9);
+  EXPECT_NEAR(traj.at(100.0)[0], 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace stosched::queueing

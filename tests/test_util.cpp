@@ -1,0 +1,301 @@
+// Tests for util/: RNG determinism and statistical sanity, streaming
+// statistics (Welford merge exactness, time averages, batch means), the
+// Monte-Carlo driver's reproducibility, and table formatting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace stosched {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(42), b(43);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += a() == b();
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, StreamsAreDeterministicAndDistinct) {
+  const Rng master(7);
+  Rng s0 = master.stream(0);
+  Rng s0b = master.stream(0);
+  Rng s1 = master.stream(1);
+  EXPECT_EQ(s0(), s0b());
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += s0() == s1();
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, StreamIndependentOfParentDraws) {
+  Rng a(7), b(7);
+  (void)a();
+  (void)a();  // advance a
+  EXPECT_EQ(a.stream(3)(), b.stream(3)());
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformPosNeverZero) {
+  Rng rng(2);
+  for (int i = 0; i < 100000; ++i) ASSERT_GT(rng.uniform_pos(), 0.0);
+}
+
+TEST(Rng, BelowIsUnbiasedRoughly) {
+  Rng rng(3);
+  std::vector<int> counts(7, 0);
+  const int n = 210000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(7)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 7.0, 5.0 * std::sqrt(n / 7.0));
+  }
+}
+
+TEST(Rng, ExponentialMoments) {
+  Rng rng(4);
+  RunningStat s;
+  for (int i = 0; i < 200000; ++i) s.push(rng.exponential(2.0));
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.variance(), 0.25, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(5);
+  RunningStat s;
+  for (int i = 0; i < 200000; ++i) s.push(rng.normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.variance(), 1.0, 0.03);
+}
+
+TEST(Rng, GammaMoments) {
+  Rng rng(6);
+  RunningStat s;
+  const double k = 2.5, theta = 1.5;
+  for (int i = 0; i < 200000; ++i) s.push(rng.gamma(k, theta));
+  EXPECT_NEAR(s.mean(), k * theta, 0.05);
+  EXPECT_NEAR(s.variance(), k * theta * theta, 0.2);
+}
+
+TEST(Rng, GammaSmallShape) {
+  Rng rng(7);
+  RunningStat s;
+  const double k = 0.4, theta = 2.0;
+  for (int i = 0; i < 300000; ++i) s.push(rng.gamma(k, theta));
+  EXPECT_NEAR(s.mean(), k * theta, 0.03);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(8);
+  const double w[3] = {1.0, 2.0, 7.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(w, 3)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.7, 0.01);
+}
+
+TEST(InverseNormal, KnownQuantiles) {
+  EXPECT_NEAR(inverse_normal_cdf(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(inverse_normal_cdf(0.975), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(inverse_normal_cdf(0.84134474606854293), 1.0, 1e-8);
+  EXPECT_NEAR(inverse_normal_cdf(0.0013498980316300933), -3.0, 1e-7);
+}
+
+TEST(InverseNormal, RejectsBoundaries) {
+  EXPECT_THROW(inverse_normal_cdf(0.0), std::invalid_argument);
+  EXPECT_THROW(inverse_normal_cdf(1.0), std::invalid_argument);
+}
+
+TEST(RunningStat, MatchesClosedForm) {
+  RunningStat s;
+  for (int i = 1; i <= 5; ++i) s.push(i);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStat, MergeEqualsSerial) {
+  Rng rng(11);
+  RunningStat serial, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal();
+    serial.push(x);
+    (i % 2 == 0 ? left : right).push(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), serial.count());
+  EXPECT_NEAR(left.mean(), serial.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), serial.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), serial.min());
+  EXPECT_DOUBLE_EQ(left.max(), serial.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a, b;
+  a.push(1.0);
+  a.push(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(TimeAverage, PiecewiseConstantPath) {
+  TimeAverage ta;
+  ta.observe(0.0, 2.0);   // 2 on [0,1)
+  ta.observe(1.0, 5.0);   // 5 on [1,3)
+  ta.observe(3.0, 0.0);   // 0 on [3,4]
+  EXPECT_DOUBLE_EQ(ta.finish(4.0), (2.0 + 10.0 + 0.0) / 4.0);
+}
+
+TEST(TimeAverage, ResetDiscardsWarmup) {
+  TimeAverage ta;
+  ta.observe(0.0, 100.0);
+  ta.observe(10.0, 4.0);
+  ta.reset(10.0);  // drop the transient
+  EXPECT_DOUBLE_EQ(ta.finish(20.0), 4.0);
+}
+
+TEST(BatchMeans, MeanMatchesSample) {
+  BatchMeans bm(8);
+  double total = 0.0;
+  for (int i = 1; i <= 100; ++i) {
+    bm.push(i);
+    total += i;
+  }
+  EXPECT_NEAR(bm.mean(), total / 100.0, 1e-12);
+}
+
+TEST(BatchMeans, CiShrinksWithData) {
+  Rng rng(12);
+  BatchMeans small(16), large(16);
+  for (int i = 0; i < 500; ++i) small.push(rng.normal());
+  for (int i = 0; i < 50000; ++i) large.push(rng.normal());
+  EXPECT_GT(small.ci_halfwidth(), large.ci_halfwidth());
+}
+
+TEST(BatchMeans, RejectsOddConfig) {
+  EXPECT_THROW(BatchMeans(3), std::invalid_argument);
+  EXPECT_THROW(BatchMeans(7), std::invalid_argument);
+}
+
+TEST(StudentT, MatchesTables) {
+  // t_{0.975, dof}: classic table values.
+  EXPECT_NEAR(student_t_quantile(0.05, 1), 12.706, 0.01);
+  EXPECT_NEAR(student_t_quantile(0.05, 2), 4.303, 0.005);
+  EXPECT_NEAR(student_t_quantile(0.05, 10), 2.228, 0.01);
+  EXPECT_NEAR(student_t_quantile(0.05, 30), 2.042, 0.005);
+  EXPECT_NEAR(student_t_quantile(0.05, 1000), 1.962, 0.005);
+}
+
+TEST(Estimate, Covers) {
+  Estimate e{10.0, 0.5, 100};
+  EXPECT_TRUE(e.covers(10.4));
+  EXPECT_TRUE(e.covers(9.6));
+  EXPECT_FALSE(e.covers(10.6));
+}
+
+TEST(MonteCarlo, DeterministicGivenSeed) {
+  auto body = [](std::size_t, Rng& rng) { return rng.exponential(1.0); };
+  const auto a = monte_carlo(1000, 99, body);
+  const auto b = monte_carlo(1000, 99, body);
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+  EXPECT_DOUBLE_EQ(a.variance(), b.variance());
+}
+
+TEST(MonteCarlo, SeedChangesResult) {
+  auto body = [](std::size_t, Rng& rng) { return rng.exponential(1.0); };
+  const auto a = monte_carlo(1000, 99, body);
+  const auto b = monte_carlo(1000, 100, body);
+  EXPECT_NE(a.mean(), b.mean());
+}
+
+TEST(MonteCarlo, EstimatesExponentialMean) {
+  auto body = [](std::size_t, Rng& rng) { return rng.exponential(0.5); };
+  const auto s = monte_carlo(20000, 7, body);
+  const auto est = make_estimate(s);
+  EXPECT_NEAR(est.value, 2.0, 0.1);
+  EXPECT_TRUE(est.covers(2.0));
+}
+
+TEST(MonteCarlo, VectorVariant) {
+  auto body = [](std::size_t, Rng& rng, std::vector<double>& out) {
+    out[0] = rng.uniform();
+    out[1] = 2.0 * out[0];
+  };
+  const auto s = monte_carlo_vec(20000, 5, 2, body);
+  EXPECT_NEAR(s[0].mean(), 0.5, 0.02);
+  EXPECT_NEAR(s[1].mean(), 1.0, 0.04);
+  EXPECT_NEAR(s[1].mean(), 2.0 * s[0].mean(), 1e-12);
+}
+
+TEST(Table, RendersAllRowsAndVerdicts) {
+  Table t("demo");
+  t.columns({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  t.note("a note");
+  t.verdict(true, "shape holds");
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("bb"), std::string::npos);
+  EXPECT_NE(s.find("PASS"), std::string::npos);
+  EXPECT_NE(s.find("a note"), std::string::npos);
+  EXPECT_TRUE(t.all_checks_passed());
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, FailedVerdictFlips) {
+  Table t("demo");
+  t.columns({"x"});
+  t.verdict(false, "broken");
+  EXPECT_FALSE(t.all_checks_passed());
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t("demo");
+  t.columns({"x", "y"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Fmt, Formats) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_pct(0.1234, 1), "12.3%");
+  EXPECT_EQ(fmt_ci(1.0, 0.25, 2), "1.00 ± 0.25");
+}
+
+TEST(Check, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(STOSCHED_REQUIRE(false, "nope"), std::invalid_argument);
+}
+
+TEST(Check, AssertThrowsInvariantError) {
+  EXPECT_THROW(STOSCHED_ASSERT(false, "bug"), invariant_error);
+}
+
+}  // namespace
+}  // namespace stosched

@@ -2,6 +2,7 @@
 // shops, evaluated with and without blocking (the Wie–Pinedo model), against
 // all permutations under common random numbers.
 #include <algorithm>
+#include <string>
 
 #include "batch/flow_shop.hpp"
 #include "batch/job.hpp"
@@ -69,7 +70,7 @@ int main() {
     const double penalty = blocked / tv - 1.0;
     total_blocking_penalty += penalty;
 
-    table.add_row({"#" + std::to_string(inst), fmt(tv, 3), fmt(best, 3),
+    table.add_row({std::string("#") + std::to_string(inst), fmt(tv, 3), fmt(best, 3),
                    fmt(worst, 3), fmt_pct(rank), fmt_pct(penalty)});
   }
   table.note("rank = fraction of permutations strictly beating Talwar (CRN)");

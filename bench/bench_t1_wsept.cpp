@@ -5,6 +5,8 @@
 // of the exhaustive optimum over all n! sequences, and of SEPT/LEPT/random
 // baselines. Prediction: WSEPT == OPT on every row; the baselines are
 // strictly worse whenever weights and means are not aligned.
+#include <string>
+
 #include "batch/job.hpp"
 #include "batch/single_machine.hpp"
 #include "bench_common.hpp"
@@ -40,7 +42,7 @@ int main() {
     all_match = all_match && match;
     worst_baseline_ratio = std::max(worst_baseline_ratio, lept / opt);
 
-    table.add_row({"#" + std::to_string(inst), std::to_string(n), fmt(wsept),
+    table.add_row({std::string("#") + std::to_string(inst), std::to_string(n), fmt(wsept),
                    fmt(opt), fmt(sept), fmt(lept), fmt(rnd),
                    match ? "yes" : "NO"});
   }

@@ -3,6 +3,8 @@
 //
 // Exact subset-DP evaluation: SEPT vs the dynamic optimum vs LEPT/random
 // priorities, across random instances and machine counts.
+#include <string>
+
 #include "batch/job.hpp"
 #include "batch/subset_dp.hpp"
 #include "bench_common.hpp"
@@ -40,7 +42,7 @@ int main() {
     all_match = all_match && match;
     worst_lept = std::max(worst_lept, lept / opt);
 
-    table.add_row({"#" + std::to_string(inst), std::to_string(n),
+    table.add_row({std::string("#") + std::to_string(inst), std::to_string(n),
                    std::to_string(m), fmt(sept), fmt(opt), fmt(lept),
                    fmt(random), match ? "yes" : "NO"});
   }

@@ -1,5 +1,7 @@
 // T4 — LEPT minimizes expected makespan on identical parallel machines with
 // exponential processing times [10]. Mirror image of T3.
+#include <string>
+
 #include "batch/job.hpp"
 #include "batch/subset_dp.hpp"
 #include "bench_common.hpp"
@@ -31,7 +33,7 @@ int main() {
     all_match = all_match && match;
     worst_sept = std::max(worst_sept, sept / opt);
 
-    table.add_row({"#" + std::to_string(inst), std::to_string(n),
+    table.add_row({std::string("#") + std::to_string(inst), std::to_string(n),
                    std::to_string(m), fmt(lept), fmt(opt), fmt(sept),
                    match ? "yes" : "NO"});
   }

@@ -6,6 +6,8 @@
 // realization lattice. Prediction: a strict gap appears on some instances —
 // the counterexample the survey cites — while for exponential jobs (T3/T4)
 // the same rules were exactly optimal.
+#include <string>
+
 #include "batch/job.hpp"
 #include "batch/parallel_machines.hpp"
 #include "bench_common.hpp"
@@ -43,7 +45,7 @@ int main() {
     if (sept_flow > opt_flow * (1.0 + 1e-9)) ++flow_gaps;
     if (lept_mksp > opt_mksp * (1.0 + 1e-9)) ++mksp_gaps;
 
-    table.add_row({"#" + std::to_string(inst), std::to_string(n),
+    table.add_row({std::string("#") + std::to_string(inst), std::to_string(n),
                    fmt(sept_flow), fmt(opt_flow),
                    fmt_pct(sept_flow / opt_flow - 1.0), fmt(lept_mksp),
                    fmt(opt_mksp), fmt_pct(lept_mksp / opt_mksp - 1.0)});

@@ -2,6 +2,7 @@
 // bandit [19]. Exact evaluation on product MDPs: Gittins vs the dynamic
 // optimum vs myopic and single-best-arm baselines.
 #include <cmath>
+#include <string>
 
 #include "bandit/bandit_sim.hpp"
 #include "bandit/gittins.hpp"
@@ -38,7 +39,7 @@ int main() {
     const double loss = (opt - myo) / std::abs(opt);
     worst_myopic = std::max(worst_myopic, loss);
 
-    table.add_row({"#" + std::to_string(inst), std::to_string(projects),
+    table.add_row({std::string("#") + std::to_string(inst), std::to_string(projects),
                    fmt(bi.beta, 3), fmt(git), fmt(opt), fmt(myo),
                    match ? "yes" : "NO", fmt_pct(loss)});
   }

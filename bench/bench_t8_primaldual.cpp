@@ -5,6 +5,7 @@
 // Heterogeneous random instances, exact evaluation on small product chains:
 // relaxation bound >= optimum >= {Whittle, primal-dual, myopic}.
 #include <cmath>
+#include <string>
 
 #include "bench_common.hpp"
 #include "restless/relaxation.hpp"
@@ -62,7 +63,7 @@ int main() {
     total_myo_regret += (opt - m_val) / (std::abs(opt) + 1e-12);
     ++rows;
 
-    table.add_row({"#" + std::to_string(inst_id), indexable ? "yes" : "no",
+    table.add_row({std::string("#") + std::to_string(inst_id), indexable ? "yes" : "no",
                    fmt(relax.bound, 4), fmt(opt, 4), fmt(pd_val, 4),
                    indexable ? fmt(w_val, 4) : "n/a", fmt(m_val, 4),
                    fmt_pct((opt - pd_val) / (std::abs(opt) + 1e-12))});

@@ -1,0 +1,142 @@
+// distribution.hpp — processing-time laws with known moments (survey §0).
+//
+// Everything in stochastic scheduling consumes a job's law through two
+// narrow windows: its first two moments (WSEPT, Sevcik, cµ, achievable
+// regions) and its hazard-rate monotonicity class (Gittins/Whittle index
+// structure, LEPT/SEPT optimality conditions). `Distribution` exposes
+// exactly that — closed-form `mean()` / `second_moment()` / `variance()` /
+// `scv()` plus a `HazardClass` tag — together with deterministic sampling
+// for the discrete-event side.
+//
+// Sampling reproducibility: every law draws through `stosched::Rng`
+// primitives only (inversion, mixtures of inversions), never through
+// implementation-defined <random> algorithms, so a (seed, stream) pair
+// yields bit-identical sample paths on every platform. See util/rng.hpp.
+//
+// Laws whose support is a finite set additionally expose it through
+// `discrete_support()`, which the exact DP solvers (subset_dp,
+// parallel_machines) use to enumerate outcomes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace stosched {
+
+/// Monotonicity class of the hazard (failure) rate h(t) = f(t) / (1-F(t)).
+/// Drives index-policy optimality: e.g. LEPT is optimal for LEPT-agreeable
+/// DFR families, SEPT for IFR ones; constant hazard (memoryless) makes
+/// preemption irrelevant.
+enum class HazardClass {
+  kConstant,     ///< exponential: memoryless
+  kIncreasing,   ///< IFR — "aging" laws (deterministic, Erlang, uniform)
+  kDecreasing,   ///< DFR — heavy-tail-ish laws (hyperexponential, Pareto)
+  kNonMonotone,  ///< neither (two-point, lognormal, general discrete)
+};
+
+/// Human-readable tag, for tables and logs.
+const char* to_string(HazardClass c) noexcept;
+
+/// A nonnegative processing-time law with closed-form first two moments.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// One draw, using only deterministic Rng primitives.
+  virtual double sample(Rng& rng) const = 0;
+
+  /// E[X] (finite for every law in the library).
+  virtual double mean() const = 0;
+
+  /// E[X^2]; +infinity where the law has none (Pareto with alpha <= 2).
+  virtual double second_moment() const = 0;
+
+  /// Var[X]; +infinity when the second moment is infinite.
+  virtual double variance() const = 0;
+
+  /// Squared coefficient of variation Var[X] / E[X]^2 — the quantity the
+  /// SCV-sensitive approximation bounds are stated in.
+  double scv() const {
+    const double m = mean();
+    return variance() / (m * m);
+  }
+
+  /// Monotonicity class of the hazard rate.
+  virtual HazardClass hazard_class() const = 0;
+
+  /// Short law name ("exp", "erlang", ...), for diagnostics.
+  virtual const char* name() const noexcept = 0;
+
+ protected:
+  friend bool discrete_support(const Distribution&, std::vector<double>*,
+                               std::vector<double>*);
+
+  /// Finite-support hook: laws with a finite atom set fill `values`
+  /// (strictly increasing) and `probs` and return true. Either out-pointer
+  /// may be null. Default: not discrete.
+  virtual bool discrete_support_impl(std::vector<double>* values,
+                                     std::vector<double>* probs) const {
+    (void)values;
+    (void)probs;
+    return false;
+  }
+};
+
+/// Shared ownership: jobs, queueing class specs and generated instances all
+/// hold (and freely copy) handles to immutable laws.
+using DistPtr = std::shared_ptr<const Distribution>;
+
+/// If `d` has finite support, fill `values` / `probs` (null pointers are
+/// skipped) and return true; otherwise return false and leave the outputs
+/// untouched.
+bool discrete_support(const Distribution& d, std::vector<double>* values,
+                      std::vector<double>* probs);
+
+// ---- factories -----------------------------------------------------------
+// All factories validate their arguments and throw std::invalid_argument on
+// a bad parameterization (nonpositive rate, probabilities not summing to 1,
+// unordered support, ...).
+
+/// Exponential with the given rate; mean 1/rate, SCV 1, constant hazard.
+DistPtr exponential_dist(double rate);
+
+/// Point mass at `value` > 0; SCV 0, (weakly) increasing hazard.
+DistPtr deterministic_dist(double value);
+
+/// Uniform on [lo, hi), 0 <= lo < hi; increasing hazard.
+DistPtr uniform_dist(double lo, double hi);
+
+/// Erlang-k with per-stage rate `rate`: sum of k iid exponentials.
+/// Mean k/rate, SCV 1/k; constant hazard for k == 1, increasing for k >= 2.
+DistPtr erlang_dist(unsigned k, double rate);
+
+/// General hyperexponential mixture: with probability probs[i], an
+/// exponential of rate rates[i]. Decreasing hazard (constant when all
+/// branch rates coincide).
+DistPtr hyperexp_dist(std::vector<double> probs, std::vector<double> rates);
+
+/// Two-branch balanced-means hyperexponential calibrated to a target mean
+/// and SCV >= 1 — the standard two-moment fit for high-variability service.
+DistPtr hyperexp2_dist(double mean, double scv);
+
+/// Two-point law: value `a` with probability `pa`, else `b`; 0 < a < b.
+/// The counterexample family of the survey's §1 (nonmonotone hazard).
+DistPtr two_point_dist(double a, double pa, double b);
+
+/// Weibull with shape `k` and scale `lambda`; increasing hazard for k > 1,
+/// decreasing for k < 1, exponential at k == 1.
+DistPtr weibull_dist(double shape, double scale);
+
+/// Lognormal: exp(mu + sigma Z), Z standard normal; nonmonotone hazard.
+DistPtr lognormal_dist(double mu, double sigma);
+
+/// Pareto with scale x_m and tail index alpha > 1 (finite mean); second
+/// moment infinite for alpha <= 2. Decreasing hazard.
+DistPtr pareto_dist(double scale, double alpha);
+
+/// General finite law on strictly increasing positive atoms.
+DistPtr discrete_dist(std::vector<double> values, std::vector<double> probs);
+
+}  // namespace stosched

@@ -4,17 +4,157 @@
 // it prints a Table (rows = instances or sweep points), appends PASS/FAIL
 // verdicts for the paper's qualitative predictions, and exits nonzero if a
 // verdict failed so the bench loop doubles as a regression gate.
+//
+// Two environment knobs:
+//   * STOSCHED_BENCH_JSON=<path>   — also write the table (title, columns,
+//     per-row metrics, verdicts, wall-clock seconds) as JSON, so perf/result
+//     trajectories can accumulate across commits;
+//   * STOSCHED_BENCH_SMOKE=1      — benches shrink replication caps and
+//     horizons (via smoke()/smoke_scale()) so CI can exercise the full
+//     experiment-engine path in seconds.
 #pragma once
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "util/table.hpp"
 
 namespace stosched::bench {
 
-/// Print the table and return the process exit code.
+/// True when STOSCHED_BENCH_SMOKE is set (and not "0"): benches should run
+/// with tight replication caps so the whole binary finishes in seconds.
+inline bool smoke() {
+  const char* v = std::getenv("STOSCHED_BENCH_SMOKE");
+  return v != nullptr && std::strcmp(v, "0") != 0;
+}
+
+/// `full` in a normal run, `reduced` in a smoke run.
+template <class T>
+T smoke_scale(T full, T reduced) {
+  return smoke() ? reduced : full;
+}
+
+namespace detail {
+
+/// Wall-clock anchor: initialized at static-init time of the bench binary,
+/// read by finish() — close enough to process wall time for trend tracking.
+inline const std::chrono::steady_clock::time_point bench_start =
+    std::chrono::steady_clock::now();
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// True iff `s` matches the strict JSON number grammar ("-?int[.frac][exp]",
+/// no leading zeros, no leading '+', no inf/nan) — stricter than strtod,
+/// which would happily accept "012" or "inf".
+inline bool is_json_number(const std::string& s) {
+  std::size_t i = 0;
+  const std::size_t n = s.size();
+  if (i < n && s[i] == '-') ++i;
+  if (i >= n || s[i] < '0' || s[i] > '9') return false;
+  if (s[i] == '0') {
+    ++i;
+  } else {
+    while (i < n && s[i] >= '0' && s[i] <= '9') ++i;
+  }
+  if (i < n && s[i] == '.') {
+    ++i;
+    if (i >= n || s[i] < '0' || s[i] > '9') return false;
+    while (i < n && s[i] >= '0' && s[i] <= '9') ++i;
+  }
+  if (i < n && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < n && (s[i] == '+' || s[i] == '-')) ++i;
+    if (i >= n || s[i] < '0' || s[i] > '9') return false;
+    while (i < n && s[i] >= '0' && s[i] <= '9') ++i;
+  }
+  return i == n;
+}
+
+/// Emit a cell as a JSON number only when it is one AND carries a decimal
+/// point or exponent. Metric cells come from fmt() and always contain '.',
+/// while label cells ("102", instance ids, N values) never do — requiring
+/// the marker keeps every column type-consistent across rows ("012" and
+/// "102" both stay strings instead of splitting into string/number).
+inline std::string json_cell(const std::string& cell) {
+  if (is_json_number(cell) &&
+      cell.find_first_of(".eE") != std::string::npos)
+    return cell;
+  return '"' + json_escape(cell) + '"';
+}
+
+inline void write_json(const Table& table, const std::string& path,
+                       double wall_seconds) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "bench: cannot write JSON to " << path << '\n';
+    return;
+  }
+  os << "{\n  \"bench\": \"" << json_escape(table.title()) << "\",\n"
+     << "  \"wall_seconds\": " << wall_seconds << ",\n"
+     << "  \"passed\": " << (table.all_checks_passed() ? "true" : "false")
+     << ",\n  \"columns\": [";
+  for (std::size_t c = 0; c < table.header().size(); ++c)
+    os << (c ? ", " : "") << '"' << json_escape(table.header()[c]) << '"';
+  os << "],\n  \"rows\": [";
+  const auto& rows = table.row_cells();
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    os << (r ? ",\n    [" : "\n    [");
+    for (std::size_t c = 0; c < rows[r].size(); ++c)
+      os << (c ? ", " : "") << json_cell(rows[r][c]);
+    os << ']';
+  }
+  os << "\n  ],\n  \"notes\": [";
+  const auto& notes = table.notes();
+  for (std::size_t n = 0; n < notes.size(); ++n)
+    os << (n ? ", " : "") << '"' << json_escape(notes[n]) << '"';
+  os << "],\n  \"verdicts\": [";
+  const auto& verdicts = table.verdicts();
+  for (std::size_t v = 0; v < verdicts.size(); ++v)
+    os << (v ? ",\n    {" : "\n    {") << "\"pass\": "
+       << (verdicts[v].pass ? "true" : "false") << ", \"what\": \""
+       << json_escape(verdicts[v].what) << "\"}";
+  os << "\n  ]\n}\n";
+}
+
+}  // namespace detail
+
+/// Print the table, optionally mirror it to $STOSCHED_BENCH_JSON, and
+/// return the process exit code.
 inline int finish(const Table& table) {
   table.print(std::cout);
+  if (const char* path = std::getenv("STOSCHED_BENCH_JSON")) {
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      detail::bench_start)
+            .count();
+    detail::write_json(table, path, wall);
+  }
   return table.all_checks_passed() ? 0 : 1;
 }
 

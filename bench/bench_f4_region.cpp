@@ -7,9 +7,9 @@
 // greedy algorithm on the region recovers the cµ order.
 #include "bench_common.hpp"
 #include "core/achievable_region.hpp"
+#include "experiment/adapters.hpp"
 #include "queueing/mg1.hpp"
 #include "queueing/mg1_analytic.hpp"
-#include "util/rng.hpp"
 #include "util/table.hpp"
 
 using namespace stosched;
@@ -20,10 +20,11 @@ int main() {
   table.columns({"point", "x1 (rho1 W1)", "x2 (rho2 W2)", "x1+x2",
                  "inside region"});
 
-  const std::vector<ClassSpec> classes{
-      {0.3, exponential_dist(1.0), 2.0},
-      {0.25, hyperexp2_dist(1.2, 2.5), 1.0},
-  };
+  experiment::QueueScenario scenario =
+      experiment::queue_scenario("f4-two-class");
+  scenario.horizon = bench::smoke_scale(3e4, 6e3);
+  scenario.warmup = bench::smoke_scale(3e3, 6e2);
+  const std::vector<ClassSpec>& classes = scenario.classes;
   std::vector<char> full{1, 1};
   const double base = core::mg1_region_b(classes, full);
 
@@ -46,21 +47,25 @@ int main() {
     add_point("mixture w=" + fmt(w, 2), mix);
   }
 
-  // Simulated vertices.
+  // Simulated vertices, via the experiment engine: replications until the
+  // per-class mean-wait CIs are tight (metrics 3 and 6 of the mg1 layout).
+  experiment::EngineOptions eopt;
+  eopt.seed = 20250916;
+  eopt.min_replications = 12;
+  eopt.batch = 12;
+  eopt.max_replications = bench::smoke_scale<std::size_t>(128, 16);
+  eopt.rel_precision = bench::smoke_scale(0.015, 0.06);
+  eopt.tracked = {3, 6};  // wait_0, wait_1
   bool sim_on_vertex = true;
   for (const auto& prio :
        std::vector<std::vector<std::size_t>>{{0, 1}, {1, 0}}) {
-    SimOptions opt;
-    opt.discipline = Discipline::kPriorityNonPreemptive;
-    opt.priority = prio;
-    opt.horizon = 3e5;
-    opt.warmup = 3e4;
-    Rng rng(17 + prio[0]);
-    const auto res = simulate_mg1(classes, opt, rng);
+    const auto res = experiment::run_queue(
+        scenario,
+        {"prio", Discipline::kPriorityNonPreemptive, prio}, eopt);
     std::vector<double> x(2);
     for (std::size_t j = 0; j < 2; ++j)
       x[j] = classes[j].arrival_rate * classes[j].service->mean() *
-             res.per_class[j].mean_wait;
+             res.metrics[2 + 3 * j + 1].mean();
     const auto& target = prio[0] == 0 ? v12 : v21;
     for (std::size_t j = 0; j < 2; ++j)
       sim_on_vertex =

@@ -1,56 +1,73 @@
 // T9 — the cµ rule is optimal for the multiclass M/G/1 queue [15].
 //
-// One instance, every static priority order: Cobham's closed-form cost,
-// the simulated cost (validating the simulator on each row), and the
-// Kleinrock conservation residual. Prediction: the cµ order minimizes the
-// cost; all orders satisfy the conservation law.
+// One instance (the registered "t9-three-class" scenario), every static
+// priority order: Cobham's closed-form cost, the simulated cost rate with a
+// sequential-precision CI, and the Kleinrock conservation residual.
+// Prediction: the cµ order minimizes the cost; all orders satisfy the
+// conservation law.
+//
+// Runs on the experiment engine: one paired comparison with the cµ order as
+// the baseline arm, all arms replaying common random numbers, replications
+// added until the cost-rate CIs are tight (capped under STOSCHED_BENCH_SMOKE).
 #include <algorithm>
+#include <cmath>
 
 #include "bench_common.hpp"
 #include "core/conservation.hpp"
-#include "queueing/mg1.hpp"
+#include "experiment/adapters.hpp"
 #include "queueing/mg1_analytic.hpp"
-#include "util/rng.hpp"
 #include "util/table.hpp"
 
 using namespace stosched;
-using namespace stosched::queueing;
+using namespace stosched::experiment;
 
 int main() {
   Table table("T9: multiclass M/G/1 — the c-mu rule across all orders [15]");
   table.columns({"priority order", "c-mu index order?", "Cobham cost",
-                 "simulated cost", "conservation resid"});
+                 "simulated cost", "vs c-mu (CRN)", "conservation resid"});
 
-  const std::vector<ClassSpec> classes{
-      {0.25, exponential_dist(1.0), 1.0},     // cµ = 1.0
-      {0.20, erlang_dist(2, 3.0), 2.5},       // cµ = 3.75
-      {0.15, hyperexp2_dist(1.3, 3.0), 0.7},  // cµ ≈ 0.54
-  };
-  const auto cmu = cmu_order(classes);
+  QueueScenario scenario = queue_scenario("t9-three-class");
+  scenario.horizon = bench::smoke_scale(2e4, 5e3);
+  scenario.warmup = bench::smoke_scale(2e3, 5e2);
+  const auto cmu = queueing::cmu_order(scenario.classes);
+
+  // Arm 0 = the cµ order (paired baseline), then every other permutation.
+  std::vector<QueuePolicy> arms{
+      {"c-mu", queueing::Discipline::kPriorityNonPreemptive, cmu}};
+  std::vector<std::size_t> order{0, 1, 2};
+  do {
+    if (order != cmu)
+      arms.push_back({"", queueing::Discipline::kPriorityNonPreemptive, order});
+  } while (std::next_permutation(order.begin(), order.end()));
+
+  EngineOptions opt;
+  opt.seed = 20250913;
+  opt.min_replications = 16;
+  opt.batch = 16;
+  opt.max_replications = bench::smoke_scale<std::size_t>(256, 24);
+  opt.rel_precision = bench::smoke_scale(0.01, 0.05);
+  opt.tracked = {0};  // stop on the cost-rate CIs
+  const auto cmp = compare_queue_policies(scenario, arms, opt,
+                                          Pairing::kCommonRandomNumbers);
 
   double best_cost = 1e18;
-  std::string best_order;
-  std::string cmu_str;
+  std::string best_order, cmu_str;
   bool conservation_ok = true;
   bool sim_matches = true;
-
-  std::vector<std::size_t> order{0, 1, 2};
-  std::sort(order.begin(), order.end());
-  do {
+  std::vector<double> means(metric_count(scenario));
+  for (std::size_t k = 0; k < arms.size(); ++k) {
     std::string name;
-    for (const auto c : order) name += std::to_string(c);
-    const bool is_cmu = order == cmu;
+    for (const auto c : arms[k].priority) name += std::to_string(c);
+    const bool is_cmu = k == 0;
     if (is_cmu) cmu_str = name;
 
-    const double analytic = cobham_cost_rate(classes, order);
-    SimOptions opt;
-    opt.discipline = Discipline::kPriorityNonPreemptive;
-    opt.priority = order;
-    opt.horizon = 2e5;
-    opt.warmup = 2e4;
-    Rng rng(std::hash<std::string>{}(name));
-    const auto res = simulate_mg1(classes, opt, rng);
-    const auto audit = core::audit_conservation(classes, res);
+    const double analytic =
+        queueing::cobham_cost_rate(scenario.classes, arms[k].priority);
+    for (std::size_t d = 0; d < means.size(); ++d)
+      means[d] = cmp.arm[k][d].mean();
+    const auto res = queueing::mg1_result_from_metrics(scenario.classes,
+                                                       means);
+    const auto audit = core::audit_conservation(scenario.classes, res);
 
     conservation_ok = conservation_ok && audit.rel_error < 0.08;
     sim_matches =
@@ -59,11 +76,18 @@ int main() {
       best_cost = analytic;
       best_order = name;
     }
+    const std::string delta =
+        is_cmu ? "baseline"
+               : fmt_ci(cmp.diff[k - 1][0].mean(),
+                        cmp.diff[k - 1][0].ci_halfwidth());
     table.add_row({name, is_cmu ? "yes" : "", fmt(analytic),
-                   fmt(res.cost_rate), fmt_pct(audit.rel_error)});
-  } while (std::next_permutation(order.begin(), order.end()));
+                   fmt_ci(res.cost_rate, cmp.arm[k][0].ci_halfwidth()), delta,
+                   fmt_pct(audit.rel_error)});
+  }
 
-  table.note("Cobham cost exact; simulation horizon 2e5 after warmup");
+  table.note("engine: " + std::to_string(cmp.replications) +
+             " CRN replications/arm, horizon " + fmt(scenario.horizon, 0) +
+             " after warmup" + (cmp.converged ? "" : " (precision cap hit)"));
   table.verdict(best_order == cmu_str,
                 "the c-mu order minimizes the cost over all 3! orders");
   table.verdict(sim_matches, "simulation within 10% of Cobham on every row");

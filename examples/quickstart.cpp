@@ -1,26 +1,25 @@
 // quickstart — the five-minute tour of libstosched.
 //
-// Builds a small batch of stochastic jobs, ranks them with the Smith/WSEPT
-// index rule, computes the exact expected weighted flowtime, verifies it by
-// simulation, and shows that the rule matches the exhaustive optimum —
+// Pulls a small batch of stochastic jobs from the scenario registry, ranks
+// them with the Smith/WSEPT index rule, computes the exact expected weighted
+// flowtime, verifies it with the experiment engine (replications added until
+// the CI is tight), and shows that the rule matches the exhaustive optimum —
 // the survey's very first theorem, reproduced in ~40 lines.
 //
 // Build & run:  cmake --build build && ./build/examples/quickstart
 #include <iostream>
 
 #include "core/stosched.hpp"
+#include "experiment/adapters.hpp"
 
 int main() {
   using namespace stosched;
 
-  // 1. Describe the workload: four jobs with different cost weights and
-  //    processing-time laws (only the means matter for sequencing).
-  batch::Batch jobs{
-      {/*weight=*/3.0, exponential_dist(/*rate=*/0.5)},   // mean 2.0
-      {/*weight=*/1.0, deterministic_dist(1.0)},          // mean 1.0
-      {/*weight=*/2.0, erlang_dist(3, 1.0)},              // mean 3.0
-      {/*weight=*/0.5, hyperexp2_dist(4.0, 3.0)},         // mean 4.0
-  };
+  // 1. The workload: four jobs with different cost weights and
+  //    processing-time laws (only the means matter for sequencing), from
+  //    the shared scenario catalogue.
+  const batch::Batch& jobs =
+      experiment::batch_scenario("quickstart-four-jobs").jobs;
 
   // 2. Rank with the WSEPT (Smith/Rothkopf) index rule.
   const core::IndexRule rule = core::wsept_rule(jobs);
@@ -36,14 +35,19 @@ int main() {
   std::cout << "E[sum w_j C_j] (WSEPT) = " << wsept << "\n"
             << "E[sum w_j C_j] (best of n! orders) = " << opt << '\n';
 
-  // 4. Confirm by Monte-Carlo simulation (parallel replications, CI).
-  const RunningStat stat = monte_carlo(20000, /*seed=*/7,
-                                       [&](std::size_t, Rng& rng) {
-    return batch::simulate_weighted_flowtime(jobs, order, rng);
-  });
-  const Estimate est = make_estimate(stat);
+  // 4. Confirm with the experiment engine: parallel replications are added
+  //    in batches until the 95% CI half-width is below 0.5% of the mean.
+  experiment::EngineOptions eopt;
+  eopt.seed = 7;
+  eopt.rel_precision = 0.005;
+  eopt.max_replications = 200000;
+  const experiment::EngineResult sim =
+      experiment::run_batch(experiment::batch_scenario("quickstart-four-jobs"),
+                            order, eopt);
+  const Estimate est = sim.estimate();
   std::cout << "simulated: " << est.value << " +/- " << est.half_width
-            << " (95% CI, " << est.replications << " reps)\n";
+            << " (95% CI, " << est.replications << " reps, "
+            << (sim.converged ? "precision reached" : "cap hit") << ")\n";
 
   std::cout << (wsept <= opt + 1e-9 && est.covers(wsept)
                     ? "WSEPT is optimal, simulation agrees.\n"

@@ -38,9 +38,22 @@ class DaryEventHeap {
   static_assert(Arity >= 2, "heap arity must be >= 2");
 
  public:
+  DaryEventHeap() = default;
+
+  /// Pre-size the heap from a capacity hint, so multi-replication drivers
+  /// that rebuild their future-event set every replication allocate once.
+  explicit DaryEventHeap(std::size_t capacity_hint) {
+    heap_.reserve(capacity_hint);
+  }
+
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return heap_.capacity();
+  }
 
+  /// Drop all pending events and restart the tie-break sequence. Keeps the
+  /// allocated capacity, so a cleared heap is reusable allocation-free.
   void clear() noexcept {
     heap_.clear();
     next_seq_ = 0;

@@ -1,0 +1,140 @@
+#include "experiment/adapters.hpp"
+
+#include "batch/single_machine.hpp"
+#include "util/check.hpp"
+
+namespace stosched::experiment {
+
+namespace {
+
+queueing::SimOptions arm_options(const QueueScenario& s,
+                                 const QueuePolicy& policy) {
+  queueing::SimOptions opt = s.options();
+  opt.discipline = policy.discipline;
+  opt.priority = policy.priority;
+  return opt;
+}
+
+}  // namespace
+
+std::size_t metric_count(const QueueScenario& s) {
+  return queueing::mg1_metric_count(s.classes.size());
+}
+
+std::vector<std::string> metric_names(const QueueScenario& s) {
+  return queueing::mg1_metric_names(s.classes.size());
+}
+
+std::size_t metric_count(const PollingScenario& s) {
+  return queueing::polling_metric_count(s.classes.size());
+}
+
+std::vector<std::string> metric_names(const PollingScenario& s) {
+  return queueing::polling_metric_names(s.classes.size());
+}
+
+void run_replication(const QueueScenario& s, const QueuePolicy& policy,
+                     Rng& rng, std::span<double> out) {
+  queueing::run_replication(s.classes, arm_options(s, policy), rng, out);
+}
+
+void run_replication(const PollingScenario& s, const PollingPolicy& policy,
+                     Rng& rng, std::span<double> out) {
+  queueing::run_replication(s.classes,
+                            s.options(policy.discipline, policy.limit), rng,
+                            out);
+}
+
+void run_replication(const RestlessScenario& s,
+                     const restless::PriorityTable& priority, Rng& rng,
+                     std::span<double> out) {
+  restless::run_replication(s.instance(), priority, s.horizon, s.burnin, rng,
+                            out);
+}
+
+void run_replication(const BatchScenario& s, const batch::Order& order,
+                     Rng& rng, std::span<double> out) {
+  STOSCHED_REQUIRE(out.size() == 1, "batch replication reports one metric");
+  out[0] = batch::simulate_weighted_flowtime(s.jobs, order, rng);
+}
+
+EngineResult run_queue(const QueueScenario& s, const QueuePolicy& policy,
+                       const EngineOptions& opt) {
+  const queueing::SimOptions sim_opt = arm_options(s, policy);
+  return run(opt, metric_count(s),
+             [&](std::size_t, Rng& rng, std::span<double> out) {
+               queueing::run_replication(s.classes, sim_opt, rng, out);
+             });
+}
+
+EngineResult run_polling(const PollingScenario& s, const PollingPolicy& policy,
+                         const EngineOptions& opt) {
+  const queueing::PollingOptions sim_opt =
+      s.options(policy.discipline, policy.limit);
+  return run(opt, metric_count(s),
+             [&](std::size_t, Rng& rng, std::span<double> out) {
+               queueing::run_replication(s.classes, sim_opt, rng, out);
+             });
+}
+
+EngineResult run_restless(const RestlessScenario& s,
+                          const restless::PriorityTable& priority,
+                          const EngineOptions& opt) {
+  const restless::RestlessInstance inst = s.instance();
+  return run(opt, 1, [&](std::size_t, Rng& rng, std::span<double> out) {
+    restless::run_replication(inst, priority, s.horizon, s.burnin, rng, out);
+  });
+}
+
+EngineResult run_batch(const BatchScenario& s, const batch::Order& order,
+                       const EngineOptions& opt) {
+  return run(opt, 1, [&](std::size_t, Rng& rng, std::span<double> out) {
+    out[0] = batch::simulate_weighted_flowtime(s.jobs, order, rng);
+  });
+}
+
+PairedResult compare_queue_policies(const QueueScenario& s,
+                                    const std::vector<QueuePolicy>& arms,
+                                    const EngineOptions& opt,
+                                    Pairing pairing) {
+  std::vector<queueing::SimOptions> sim_opts;
+  sim_opts.reserve(arms.size());
+  for (const auto& a : arms) sim_opts.push_back(arm_options(s, a));
+  return run_paired(opt, arms.size(), metric_count(s), pairing,
+                    [&](std::size_t, std::size_t k, Rng& rng,
+                        std::span<double> out) {
+                      queueing::run_replication(s.classes, sim_opts[k], rng,
+                                                out);
+                    });
+}
+
+PairedResult compare_polling_policies(const PollingScenario& s,
+                                      const std::vector<PollingPolicy>& arms,
+                                      const EngineOptions& opt,
+                                      Pairing pairing) {
+  std::vector<queueing::PollingOptions> sim_opts;
+  sim_opts.reserve(arms.size());
+  for (const auto& a : arms)
+    sim_opts.push_back(s.options(a.discipline, a.limit));
+  return run_paired(opt, arms.size(), metric_count(s), pairing,
+                    [&](std::size_t, std::size_t k, Rng& rng,
+                        std::span<double> out) {
+                      queueing::run_replication(s.classes, sim_opts[k], rng,
+                                                out);
+                    });
+}
+
+PairedResult compare_restless_policies(
+    const RestlessScenario& s,
+    const std::vector<restless::PriorityTable>& arms, const EngineOptions& opt,
+    Pairing pairing) {
+  const restless::RestlessInstance inst = s.instance();
+  return run_paired(opt, arms.size(), 1, pairing,
+                    [&](std::size_t, std::size_t k, Rng& rng,
+                        std::span<double> out) {
+                      restless::run_replication(inst, arms[k], s.horizon,
+                                                s.burnin, rng, out);
+                    });
+}
+
+}  // namespace stosched::experiment

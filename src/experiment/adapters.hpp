@@ -1,0 +1,88 @@
+// adapters.hpp — glue between scenarios, simulators and the engine.
+//
+// Each simulator family exposes a `run_replication(model, Rng&, out)` entry
+// point in its own module; this layer pairs that with the scenario registry
+// and a *policy arm* type, so an experiment reads as
+//
+//     auto res = run_queue(queue_scenario("t9-three-class"),
+//                          {"c-mu", Discipline::kPriorityNonPreemptive, cmu},
+//                          opts);
+//     auto cmp = compare_queue_policies(scenario, {fcfs, cmu}, opts,
+//                                       Pairing::kCommonRandomNumbers);
+//
+// The policy arm is deliberately separate from the scenario: a CRN
+// comparison varies the arm while replaying the same workload randomness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "batch/job.hpp"
+#include "experiment/engine.hpp"
+#include "experiment/scenario.hpp"
+#include "restless/restless_sim.hpp"
+
+namespace stosched::experiment {
+
+/// One M/G/1 scheduling policy under comparison.
+struct QueuePolicy {
+  std::string name;
+  queueing::Discipline discipline = queueing::Discipline::kFcfs;
+  std::vector<std::size_t> priority;  ///< empty for FCFS
+};
+
+/// One polling discipline under comparison.
+struct PollingPolicy {
+  std::string name;
+  queueing::PollingDiscipline discipline =
+      queueing::PollingDiscipline::kExhaustive;
+  std::size_t limit = 1;
+};
+
+/// Metric layout of each scenario family (delegates to the simulator).
+std::size_t metric_count(const QueueScenario& s);
+std::vector<std::string> metric_names(const QueueScenario& s);
+std::size_t metric_count(const PollingScenario& s);
+std::vector<std::string> metric_names(const PollingScenario& s);
+
+/// Uniform replication entry points on scenario types.
+void run_replication(const QueueScenario& s, const QueuePolicy& policy,
+                     Rng& rng, std::span<double> out);
+void run_replication(const PollingScenario& s, const PollingPolicy& policy,
+                     Rng& rng, std::span<double> out);
+/// Restless: single metric, the average per-epoch reward.
+void run_replication(const RestlessScenario& s,
+                     const restless::PriorityTable& priority, Rng& rng,
+                     std::span<double> out);
+/// Batch: single metric, the realized weighted flowtime of `order`.
+void run_replication(const BatchScenario& s, const batch::Order& order,
+                     Rng& rng, std::span<double> out);
+
+/// Engine drivers: replications of one policy on one scenario.
+EngineResult run_queue(const QueueScenario& s, const QueuePolicy& policy,
+                       const EngineOptions& opt);
+EngineResult run_polling(const PollingScenario& s, const PollingPolicy& policy,
+                         const EngineOptions& opt);
+EngineResult run_restless(const RestlessScenario& s,
+                          const restless::PriorityTable& priority,
+                          const EngineOptions& opt);
+EngineResult run_batch(const BatchScenario& s, const batch::Order& order,
+                       const EngineOptions& opt);
+
+/// Paired policy comparisons (arm 0 is the baseline the differences are
+/// taken against).
+PairedResult compare_queue_policies(const QueueScenario& s,
+                                    const std::vector<QueuePolicy>& arms,
+                                    const EngineOptions& opt, Pairing pairing);
+PairedResult compare_polling_policies(const PollingScenario& s,
+                                      const std::vector<PollingPolicy>& arms,
+                                      const EngineOptions& opt,
+                                      Pairing pairing);
+PairedResult compare_restless_policies(
+    const RestlessScenario& s,
+    const std::vector<restless::PriorityTable>& arms, const EngineOptions& opt,
+    Pairing pairing);
+
+}  // namespace stosched::experiment

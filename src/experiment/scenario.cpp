@@ -1,0 +1,252 @@
+#include "experiment/scenario.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace stosched::experiment {
+
+double QueueScenario::load() const {
+  return queueing::traffic_intensity(classes);
+}
+
+queueing::SimOptions QueueScenario::options() const {
+  queueing::SimOptions opt;
+  opt.horizon = horizon;
+  opt.warmup = warmup;
+  opt.feedback = feedback;
+  return opt;
+}
+
+queueing::PollingOptions PollingScenario::options(
+    queueing::PollingDiscipline discipline, std::size_t limit) const {
+  queueing::PollingOptions opt;
+  opt.discipline = discipline;
+  opt.limit = limit;
+  opt.switchover = switchover;
+  opt.horizon = horizon;
+  opt.warmup = warmup;
+  return opt;
+}
+
+restless::RestlessInstance RestlessScenario::instance() const {
+  return restless::symmetric_instance(prototype, projects, activate);
+}
+
+RestlessScenario RestlessScenario::with_population(std::size_t n) const {
+  STOSCHED_REQUIRE(n >= 1 && projects >= 1, "population must be >= 1");
+  RestlessScenario out = *this;
+  out.projects = n;
+  out.activate = std::max<std::size_t>(1, n * activate / projects);
+  out.name = name + "-N" + std::to_string(n);
+  return out;
+}
+
+namespace {
+
+/// Generic name -> scenario map with a helpful unknown-name error.
+template <class S>
+class Registry {
+ public:
+  void add(S s) { entries_.emplace(s.name, std::move(s)); }
+
+  const S& get(std::string_view name, const char* family) const {
+    const auto it = entries_.find(std::string(name));
+    if (it == entries_.end()) {
+      std::ostringstream os;
+      os << "unknown " << family << " scenario '" << name << "'; known:";
+      for (const auto& [k, v] : entries_) os << ' ' << k;
+      throw std::invalid_argument(os.str());
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [k, v] : entries_) out.push_back(k);
+    return out;
+  }
+
+ private:
+  std::map<std::string, S> entries_;  // ordered => deterministic names()
+};
+
+Registry<QueueScenario> build_queue_registry() {
+  Registry<QueueScenario> reg;
+  // The T9 instance: three classes with distinct cµ indices spanning IFR
+  // (Erlang), memoryless and DFR (hyperexponential) service.
+  reg.add({"t9-three-class",
+           "3-class M/G/1, distinct c-mu indices (bench T9)",
+           {{0.25, exponential_dist(1.0), 1.0},
+            {0.20, erlang_dist(2, 3.0), 2.5},
+            {0.15, hyperexp2_dist(1.3, 3.0), 0.7}},
+           {},
+           2e5,
+           2e4});
+  // The F4 instance: two classes tracing the achievable-region segment.
+  reg.add({"f4-two-class",
+           "2-class M/G/1 achievable-region instance (bench F4)",
+           {{0.3, exponential_dist(1.0), 2.0},
+            {0.25, hyperexp2_dist(1.2, 2.5), 1.0}},
+           {},
+           3e5,
+           3e4});
+  // The call-center example: urgent/standard/bulk caller mix at rho ~ 0.9.
+  reg.add({"call-center",
+           "3-class contact-center mix, rho ~ 0.9 (example)",
+           {{8.0, exponential_dist(30.0), 12.0},
+            {5.0, exponential_dist(15.0), 3.0},
+            {1.5, hyperexp2_dist(0.2, 4.0), 1.0}},
+           {},
+           4e3,
+           4e2});
+  // The T10 Klimov network: 3 classes with Bernoulli feedback.
+  reg.add({"klimov-t10",
+           "3-class Klimov feedback network (bench T10)",
+           {{0.15, exponential_dist(2.0), 2.0},
+            {0.10, exponential_dist(1.0), 1.0},
+            {0.10, exponential_dist(1.5), 3.0}},
+           {{0.0, 0.4, 0.0}, {0.0, 0.0, 0.3}, {0.1, 0.0, 0.0}},
+           2e5,
+           2e4});
+  // Heavy-tail mix: a Pareto class (alpha = 2.5, finite variance but high
+  // SCV) against light-tailed competitors — the regime where priority
+  // choices move the cost most.
+  reg.add({"heavy-tail",
+           "2-class M/G/1 with a Pareto heavy-tail class",
+           {{0.30, pareto_dist(0.6, 2.5), 1.0},
+            {0.35, exponential_dist(1.25), 2.0}},
+           {},
+           2e5,
+           2e4});
+  return reg;
+}
+
+Registry<PollingScenario> build_polling_registry() {
+  Registry<PollingScenario> reg;
+  // The T11 system: two near-symmetric queues, class 1 with the higher cµ.
+  reg.add({"t11-two-queue",
+           "2-queue polling system, deterministic setups (bench T11)",
+           {{0.30, exponential_dist(1.0), 1.0},
+            {0.25, exponential_dist(0.8), 2.0}},
+           deterministic_dist(0.4),
+           2e5,
+           2e4});
+  return reg;
+}
+
+Registry<RestlessScenario> build_restless_registry() {
+  Registry<RestlessScenario> reg;
+  // The F3 prototype: active work improves the state, passivity decays it;
+  // indexable, with a binding activation budget at m/N = 1/4.
+  RestlessScenario f3;
+  f3.name = "f3-decay";
+  f3.description =
+      "4-state improve/decay restless prototype, m/N = 1/4 (bench F3)";
+  f3.prototype.reward_passive = {0.0, 0.0, 0.0, 0.0};
+  f3.prototype.reward_active = {0.1, 0.4, 0.7, 1.0};
+  f3.prototype.trans_active = {{0.1, 0.6, 0.2, 0.1},
+                               {0.05, 0.15, 0.6, 0.2},
+                               {0.05, 0.1, 0.25, 0.6},
+                               {0.05, 0.1, 0.15, 0.7}};
+  f3.prototype.trans_passive = {{0.9, 0.1, 0.0, 0.0},
+                                {0.5, 0.4, 0.1, 0.0},
+                                {0.2, 0.5, 0.25, 0.05},
+                                {0.1, 0.3, 0.4, 0.2}};
+  f3.projects = 4;
+  f3.activate = 1;
+  f3.horizon = 60000;
+  f3.burnin = 6000;
+  reg.add(std::move(f3));
+  return reg;
+}
+
+Registry<BatchScenario> build_batch_registry() {
+  Registry<BatchScenario> reg;
+  // The quickstart batch: four jobs whose weights and means disagree, so
+  // index rules have something to decide.
+  reg.add({"quickstart-four-jobs",
+           "4 mixed-law jobs for single-machine WSEPT demos",
+           {{3.0, exponential_dist(0.5)},
+            {1.0, deterministic_dist(1.0)},
+            {2.0, erlang_dist(3, 1.0)},
+            {0.5, hyperexp2_dist(4.0, 3.0)}}});
+  return reg;
+}
+
+const Registry<QueueScenario>& queue_registry() {
+  static const Registry<QueueScenario> reg = build_queue_registry();
+  return reg;
+}
+
+const Registry<PollingScenario>& polling_registry() {
+  static const Registry<PollingScenario> reg = build_polling_registry();
+  return reg;
+}
+
+const Registry<RestlessScenario>& restless_registry() {
+  static const Registry<RestlessScenario> reg = build_restless_registry();
+  return reg;
+}
+
+const Registry<BatchScenario>& batch_registry() {
+  static const Registry<BatchScenario> reg = build_batch_registry();
+  return reg;
+}
+
+}  // namespace
+
+const QueueScenario& queue_scenario(std::string_view name) {
+  return queue_registry().get(name, "queue");
+}
+
+const PollingScenario& polling_scenario(std::string_view name) {
+  return polling_registry().get(name, "polling");
+}
+
+const RestlessScenario& restless_scenario(std::string_view name) {
+  return restless_registry().get(name, "restless");
+}
+
+const BatchScenario& batch_scenario(std::string_view name) {
+  return batch_registry().get(name, "batch");
+}
+
+std::vector<std::string> queue_scenario_names() {
+  return queue_registry().names();
+}
+
+std::vector<std::string> polling_scenario_names() {
+  return polling_registry().names();
+}
+
+std::vector<std::string> restless_scenario_names() {
+  return restless_registry().names();
+}
+
+std::vector<std::string> batch_scenario_names() {
+  return batch_registry().names();
+}
+
+QueueScenario scale_to_load(QueueScenario s, double rho) {
+  STOSCHED_REQUIRE(rho > 0.0, "target load must be > 0");
+  const double base = s.load();
+  STOSCHED_REQUIRE(base > 0.0, "scenario has zero load");
+  const double factor = rho / base;
+  for (auto& c : s.classes) c.arrival_rate *= factor;
+  std::ostringstream os;
+  os << s.name << "@rho=" << rho;
+  s.name = os.str();
+  return s;
+}
+
+PollingScenario with_switchover(PollingScenario s, DistPtr law) {
+  STOSCHED_REQUIRE(law != nullptr, "switchover law required");
+  s.switchover = std::move(law);
+  return s;
+}
+
+}  // namespace stosched::experiment

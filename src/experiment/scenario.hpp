@@ -1,0 +1,107 @@
+// scenario.hpp — the named scenario registry of the experiment subsystem.
+//
+// Before this registry every bench and example hand-built its workload
+// inline: the same three-class traffic mix, the same symmetric polling
+// system and the same restless prototype were re-typed dozens of times,
+// and load sweeps re-derived arrival-rate scalings ad hoc. A scenario is a
+// *named, parameterized workload* — classes/laws/feedback plus run lengths —
+// looked up by string, so benches, examples and tests draw from one
+// catalogue and new workloads become one registration instead of N edits.
+//
+// Families:
+//   * QueueScenario    — multiclass M/G/1 workloads, optionally with a
+//                        Bernoulli feedback matrix (Klimov networks);
+//   * PollingScenario  — queues plus a switchover law;
+//   * RestlessScenario — a restless prototype replicated into a symmetric
+//                        N-project instance with an activation budget;
+//   * BatchScenario    — a fixed batch of stochastic jobs.
+//
+// Helpers derive swept variants (scale_to_load, with_switchover) without
+// mutating the registered base scenario.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "batch/job.hpp"
+#include "queueing/mg1.hpp"
+#include "queueing/polling.hpp"
+#include "restless/restless_project.hpp"
+
+namespace stosched::experiment {
+
+/// A multiclass M/G/1 workload (feedback empty => plain M/G/1; nonempty =>
+/// Klimov network).
+struct QueueScenario {
+  std::string name;
+  std::string description;
+  std::vector<queueing::ClassSpec> classes;
+  std::vector<std::vector<double>> feedback;
+  double horizon = 2e5;
+  double warmup = 2e4;
+
+  /// Traffic intensity of the base workload (ignores feedback revisits).
+  [[nodiscard]] double load() const;
+  /// SimOptions preset with this scenario's horizon/warmup/feedback filled
+  /// in; caller sets discipline and priority (the policy arm).
+  [[nodiscard]] queueing::SimOptions options() const;
+};
+
+/// A polling workload: queues plus the switchover law.
+struct PollingScenario {
+  std::string name;
+  std::string description;
+  std::vector<queueing::ClassSpec> classes;
+  DistPtr switchover;
+  double horizon = 2e5;
+  double warmup = 2e4;
+
+  [[nodiscard]] queueing::PollingOptions options(
+      queueing::PollingDiscipline discipline, std::size_t limit = 1) const;
+};
+
+/// A symmetric restless-bandit workload: N copies of a prototype project,
+/// `activate` of which run per epoch.
+struct RestlessScenario {
+  std::string name;
+  std::string description;
+  restless::RestlessProject prototype;
+  std::size_t projects = 4;
+  std::size_t activate = 1;
+  std::size_t horizon = 60000;
+  std::size_t burnin = 6000;
+
+  [[nodiscard]] restless::RestlessInstance instance() const;
+  /// Variant scaled to n projects with budget n * activate / projects.
+  [[nodiscard]] RestlessScenario with_population(std::size_t n) const;
+};
+
+/// A fixed batch of stochastic jobs (single-machine experiments).
+struct BatchScenario {
+  std::string name;
+  std::string description;
+  batch::Batch jobs;
+};
+
+/// Registry lookups. Unknown names throw std::invalid_argument listing the
+/// known scenarios; *_names() enumerate the catalogue for sweeps/tools.
+const QueueScenario& queue_scenario(std::string_view name);
+const PollingScenario& polling_scenario(std::string_view name);
+const RestlessScenario& restless_scenario(std::string_view name);
+const BatchScenario& batch_scenario(std::string_view name);
+
+std::vector<std::string> queue_scenario_names();
+std::vector<std::string> polling_scenario_names();
+std::vector<std::string> restless_scenario_names();
+std::vector<std::string> batch_scenario_names();
+
+/// Rescale every arrival rate by a common factor so the base traffic
+/// intensity becomes `rho` — the standard load-sweep transform.
+QueueScenario scale_to_load(QueueScenario s, double rho);
+
+/// Swap in a different switchover law (setup-time sweeps).
+PollingScenario with_switchover(PollingScenario s, DistPtr law);
+
+}  // namespace stosched::experiment

@@ -33,8 +33,15 @@ struct WaitingJob {
 struct Sim {
   const std::vector<ClassSpec>& classes;
   const SimOptions& opt;
-  Rng& rng;
   std::size_t n;
+
+  // Per-purpose substreams (see simulate_mg1's header comment): class j's
+  // arrivals and services each draw from their own stream, so the k-th
+  // class-j service requirement is the same number under every discipline —
+  // the synchronization common-random-number comparisons rely on.
+  std::vector<Rng> arrival_rng;
+  std::vector<Rng> service_rng;
+  Rng feedback_rng;
 
   EventQueue events;
   std::vector<std::deque<WaitingJob>> queue;   // per class; FCFS within class
@@ -57,8 +64,10 @@ struct Sim {
   double now = 0.0;
 
   Sim(const std::vector<ClassSpec>& c, const SimOptions& o, Rng& r)
-      : classes(c), opt(o), rng(r), n(c.size()) {
+      : classes(c), opt(o), n(c.size()) {
     STOSCHED_REQUIRE(n >= 1, "need at least one class");
+    STOSCHED_REQUIRE(opt.horizon > 0.0, "horizon must be > 0");
+    STOSCHED_REQUIRE(opt.warmup >= 0.0, "warmup must be >= 0");
     for (const auto& spec : classes) {
       STOSCHED_REQUIRE(spec.arrival_rate >= 0.0, "arrival rate must be >= 0");
       STOSCHED_REQUIRE(spec.service != nullptr, "every class needs a service law");
@@ -91,6 +100,21 @@ struct Sim {
         STOSCHED_REQUIRE(total <= 1.0 + 1e-9, "feedback row sums must be <= 1");
       }
     }
+    // One draw decouples back-to-back simulations sharing a caller Rng;
+    // everything below derives from it, so copies of the same caller state
+    // replay identical substreams.
+    const Rng root(r());
+    arrival_rng.reserve(n);
+    service_rng.reserve(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      arrival_rng.push_back(root.stream(2 * j));
+      service_rng.push_back(root.stream(2 * j + 1));
+    }
+    feedback_rng = root.stream(2 * n);
+    // Steady state holds ~2 events per class (next arrival + departure);
+    // reserving up front keeps multi-replication engine runs allocation-free
+    // after the first few events.
+    events.reserve(4 * n + 16);
     queue.resize(n);
     in_system.assign(n, 0);
     count_ta.resize(n);
@@ -114,8 +138,8 @@ struct Sim {
 
   void schedule_arrival(std::size_t cls) {
     if (classes[cls].arrival_rate <= 0.0) return;
-    events.push(now + rng.exponential(classes[cls].arrival_rate), kArrival,
-                static_cast<std::uint32_t>(cls));
+    events.push(now + arrival_rng[cls].exponential(classes[cls].arrival_rate),
+                kArrival, static_cast<std::uint32_t>(cls));
   }
 
   /// Pick the next class to serve; SIZE_MAX if all queues empty.
@@ -151,7 +175,7 @@ struct Sim {
     }
     const double service = job.remaining >= 0.0
                                ? job.remaining
-                               : classes[cls].service->sample(rng);
+                               : classes[cls].service->sample(service_rng[cls]);
     cur_class = cls;
     cur_job = job;
     service_started = now;
@@ -209,7 +233,7 @@ struct Sim {
     // Feedback routing: job may re-enter as another class.
     if (!opt.feedback.empty()) {
       const auto& row = opt.feedback[cls];
-      double u = rng.uniform();
+      double u = feedback_rng.uniform();
       for (std::size_t k = 0; k < n; ++k) {
         u -= row[k];
         if (u < 0.0) {
@@ -268,6 +292,52 @@ SimResult simulate_mg1(const std::vector<ClassSpec>& classes,
                        const SimOptions& options, Rng& rng) {
   Sim sim(classes, options, rng);
   return sim.run();
+}
+
+std::size_t mg1_metric_count(std::size_t num_classes) {
+  return 2 + 3 * num_classes;
+}
+
+std::vector<std::string> mg1_metric_names(std::size_t num_classes) {
+  std::vector<std::string> names{"cost_rate", "utilization"};
+  for (std::size_t j = 0; j < num_classes; ++j) {
+    const std::string cls = std::to_string(j);
+    names.push_back("L_" + cls);
+    names.push_back("wait_" + cls);
+    names.push_back("throughput_" + cls);
+  }
+  return names;
+}
+
+void run_replication(const std::vector<ClassSpec>& classes,
+                     const SimOptions& options, Rng& rng,
+                     std::span<double> out) {
+  STOSCHED_REQUIRE(out.size() == mg1_metric_count(classes.size()),
+                   "metric span size mismatch");
+  const SimResult res = simulate_mg1(classes, options, rng);
+  out[0] = res.cost_rate;
+  out[1] = res.utilization;
+  for (std::size_t j = 0; j < classes.size(); ++j) {
+    out[2 + 3 * j] = res.per_class[j].mean_in_system;
+    out[2 + 3 * j + 1] = res.per_class[j].mean_wait;
+    out[2 + 3 * j + 2] = res.per_class[j].throughput;
+  }
+}
+
+SimResult mg1_result_from_metrics(const std::vector<ClassSpec>& classes,
+                                  std::span<const double> metric_means) {
+  STOSCHED_REQUIRE(metric_means.size() == mg1_metric_count(classes.size()),
+                   "metric span size mismatch");
+  SimResult res;
+  res.cost_rate = metric_means[0];
+  res.utilization = metric_means[1];
+  res.per_class.resize(classes.size());
+  for (std::size_t j = 0; j < classes.size(); ++j) {
+    res.per_class[j].mean_in_system = metric_means[2 + 3 * j];
+    res.per_class[j].mean_wait = metric_means[2 + 3 * j + 1];
+    res.per_class[j].throughput = metric_means[2 + 3 * j + 2];
+  }
+  return res;
 }
 
 }  // namespace stosched::queueing

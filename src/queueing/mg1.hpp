@@ -16,6 +16,8 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "dist/distribution.hpp"
@@ -69,7 +71,32 @@ struct SimResult {
 };
 
 /// Run one replication. Deterministic in (classes, options, rng state).
+///
+/// Randomness is split into per-purpose substreams derived from one draw of
+/// `rng` (per-class arrival stream, per-class service stream, feedback
+/// stream). Two disciplines replaying the same `rng` state therefore see
+/// the *same* arrival epochs and the same k-th service requirement per
+/// class — the synchronization that makes common-random-number policy
+/// comparisons (experiment::run_paired) effective.
 SimResult simulate_mg1(const std::vector<ClassSpec>& classes,
                        const SimOptions& options, Rng& rng);
+
+/// Experiment-engine adapter: metric vector layout is
+///   [cost_rate, utilization,
+///    then per class j: mean_in_system_j, mean_wait_j, throughput_j].
+std::size_t mg1_metric_count(std::size_t num_classes);
+std::vector<std::string> mg1_metric_names(std::size_t num_classes);
+
+/// Uniform replication entry point: one simulate_mg1 run, metrics written
+/// into `out` (size mg1_metric_count(classes.size())).
+void run_replication(const std::vector<ClassSpec>& classes,
+                     const SimOptions& options, Rng& rng,
+                     std::span<double> out);
+
+/// Rebuild the SimResult summary fields from engine metric means (for
+/// consumers of SimResult such as core::audit_conservation). Per-class
+/// `completions` is not representable as a mean and is left zero.
+SimResult mg1_result_from_metrics(const std::vector<ClassSpec>& classes,
+                                  std::span<const double> metric_means);
 
 }  // namespace stosched::queueing

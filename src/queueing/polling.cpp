@@ -21,8 +21,14 @@ enum class ServerState { kIdle, kSwitching, kServing };
 struct PollingSim {
   const std::vector<ClassSpec>& classes;
   const PollingOptions& opt;
-  Rng& rng;
   std::size_t n;
+
+  // Per-purpose substreams (as in mg1.cpp): queue j's arrivals and services
+  // draw from their own streams and setups from a third, so every polling
+  // discipline sees the identical workload under common random numbers.
+  std::vector<Rng> arrival_rng;
+  std::vector<Rng> service_rng;
+  Rng switch_rng;
 
   EventQueue events;
   std::vector<std::deque<double>> queue;
@@ -39,9 +45,20 @@ struct PollingSim {
   bool warm = false;
 
   PollingSim(const std::vector<ClassSpec>& c, const PollingOptions& o, Rng& r)
-      : classes(c), opt(o), rng(r), n(c.size()) {
+      : classes(c), opt(o), n(c.size()) {
     STOSCHED_REQUIRE(n >= 1, "need at least one queue");
     STOSCHED_REQUIRE(opt.switchover != nullptr, "switchover law required");
+    STOSCHED_REQUIRE(opt.horizon > 0.0, "horizon must be > 0");
+    STOSCHED_REQUIRE(opt.warmup >= 0.0, "warmup must be >= 0");
+    const Rng root(r());
+    arrival_rng.reserve(n);
+    service_rng.reserve(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      arrival_rng.push_back(root.stream(2 * j));
+      service_rng.push_back(root.stream(2 * j + 1));
+    }
+    switch_rng = root.stream(2 * n);
+    events.reserve(2 * n + 16);
     queue.resize(n);
     in_system.assign(n, 0);
     count_ta.resize(n);
@@ -92,14 +109,14 @@ struct PollingSim {
     set_state(ServerState::kServing);
     ++served_this_visit;
     if (gate > 0) --gate;
-    events.push(now + classes[q].service->sample(rng), kServiceDone,
+    events.push(now + classes[q].service->sample(service_rng[q]), kServiceDone,
                 static_cast<std::uint32_t>(q));
   }
 
   void begin_switch(std::size_t target) {
     at = target;
     set_state(ServerState::kSwitching);
-    events.push(now + opt.switchover->sample(rng), kSwitchDone,
+    events.push(now + opt.switchover->sample(switch_rng), kSwitchDone,
                 static_cast<std::uint32_t>(target));
   }
 
@@ -157,8 +174,8 @@ struct PollingSim {
   PollingResult run() {
     for (std::size_t j = 0; j < n; ++j)
       if (classes[j].arrival_rate > 0.0)
-        events.push(rng.exponential(classes[j].arrival_rate), kArrival,
-                    static_cast<std::uint32_t>(j));
+        events.push(arrival_rng[j].exponential(classes[j].arrival_rate),
+                    kArrival, static_cast<std::uint32_t>(j));
 
     const double t_end = opt.warmup + opt.horizon;
     while (!events.empty() && events.top().time <= t_end) {
@@ -173,7 +190,7 @@ struct PollingSim {
       const auto q = static_cast<std::size_t>(e.a);
       switch (e.type) {
         case kArrival:
-          events.push(now + rng.exponential(classes[q].arrival_rate),
+          events.push(now + arrival_rng[q].exponential(classes[q].arrival_rate),
                       kArrival, e.a);
           bump(q, +1);
           queue[q].push_back(now);
@@ -218,6 +235,31 @@ PollingResult simulate_polling(const std::vector<ClassSpec>& classes,
                                const PollingOptions& options, Rng& rng) {
   PollingSim sim(classes, options, rng);
   return sim.run();
+}
+
+std::size_t polling_metric_count(std::size_t num_queues) {
+  return 3 + num_queues;
+}
+
+std::vector<std::string> polling_metric_names(std::size_t num_queues) {
+  std::vector<std::string> names{"cost_rate", "switching_fraction",
+                                 "serving_fraction"};
+  for (std::size_t j = 0; j < num_queues; ++j)
+    names.push_back("L_" + std::to_string(j));
+  return names;
+}
+
+void run_replication(const std::vector<ClassSpec>& classes,
+                     const PollingOptions& options, Rng& rng,
+                     std::span<double> out) {
+  STOSCHED_REQUIRE(out.size() == polling_metric_count(classes.size()),
+                   "metric span size mismatch");
+  const PollingResult res = simulate_polling(classes, options, rng);
+  out[0] = res.cost_rate;
+  out[1] = res.switching_fraction;
+  out[2] = res.serving_fraction;
+  for (std::size_t j = 0; j < classes.size(); ++j)
+    out[3 + j] = res.mean_in_system[j];
 }
 
 }  // namespace stosched::queueing

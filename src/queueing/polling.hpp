@@ -16,6 +16,8 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "dist/distribution.hpp"
@@ -45,7 +47,22 @@ struct PollingResult {
   double serving_fraction = 0.0;
 };
 
+/// Run one replication. Like simulate_mg1, randomness is split into
+/// per-purpose substreams (per-queue arrivals, per-queue services,
+/// switchovers) derived from one draw of `rng`, so disciplines compared
+/// under common random numbers see identical workloads.
 PollingResult simulate_polling(const std::vector<ClassSpec>& classes,
                                const PollingOptions& options, Rng& rng);
+
+/// Experiment-engine adapter: metric vector layout is
+///   [cost_rate, switching_fraction, serving_fraction,
+///    then per queue j: mean_in_system_j].
+std::size_t polling_metric_count(std::size_t num_queues);
+std::vector<std::string> polling_metric_names(std::size_t num_queues);
+
+/// Uniform replication entry point for the experiment engine.
+void run_replication(const std::vector<ClassSpec>& classes,
+                     const PollingOptions& options, Rng& rng,
+                     std::span<double> out);
 
 }  // namespace stosched::queueing

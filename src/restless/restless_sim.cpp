@@ -62,6 +62,13 @@ double simulate_priority_policy(const RestlessInstance& inst,
   return total / static_cast<double>(horizon);
 }
 
+void run_replication(const RestlessInstance& inst,
+                     const PriorityTable& priority, std::size_t horizon,
+                     std::size_t burnin, Rng& rng, std::span<double> out) {
+  STOSCHED_REQUIRE(out.size() == 1, "restless replication reports one metric");
+  out[0] = simulate_priority_policy(inst, priority, horizon, burnin, rng);
+}
+
 double simulate_random_policy(const RestlessInstance& inst,
                               std::size_t horizon, std::size_t burnin,
                               Rng& rng) {

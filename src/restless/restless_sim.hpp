@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "restless/restless_project.hpp"
@@ -28,6 +29,15 @@ double simulate_priority_policy(const RestlessInstance& inst,
 double simulate_random_policy(const RestlessInstance& inst,
                               std::size_t horizon, std::size_t burnin,
                               Rng& rng);
+
+/// Experiment-engine adapter: one simulate_priority_policy replication; the
+/// single metric is the average per-epoch reward. Restless epochs consume
+/// randomness in a policy-independent order (every project transitions every
+/// epoch), so common-random-number comparisons of priority tables are
+/// synchronized for free.
+void run_replication(const RestlessInstance& inst,
+                     const PriorityTable& priority, std::size_t horizon,
+                     std::size_t burnin, Rng& rng, std::span<double> out);
 
 /// Exact optimal average reward via relative value iteration on the product
 /// MDP with all C(N, m) activation subsets. Tiny instances only.

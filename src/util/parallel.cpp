@@ -1,98 +1,43 @@
 #include "util/parallel.hpp"
 
-#include <algorithm>
-
-#ifdef STOSCHED_HAVE_OPENMP
-#include <omp.h>
-#endif
-
-#include "util/check.hpp"
+#include "experiment/engine.hpp"
 
 namespace stosched {
 
 unsigned monte_carlo_threads() noexcept {
-#ifdef STOSCHED_HAVE_OPENMP
-  return static_cast<unsigned>(std::max(1, omp_get_max_threads()));
-#else
-  return 1;
-#endif
+  return experiment::engine_threads();
 }
 
 RunningStat monte_carlo(std::size_t replications, std::uint64_t seed,
                         const std::function<double(std::size_t, Rng&)>& body) {
-  const Rng master(seed);
-  const unsigned nthreads = monte_carlo_threads();
-  std::vector<RunningStat> partial(nthreads);
-
-#ifdef STOSCHED_HAVE_OPENMP
-#pragma omp parallel num_threads(nthreads)
-  {
-    const auto tid = static_cast<unsigned>(omp_get_thread_num());
-    RunningStat local;
-    // Static cyclic assignment: replication r belongs to thread r % nthreads.
-    // Determinism does not depend on this choice (streams are per
-    // replication), but a fixed schedule keeps per-thread load even when
-    // replication costs drift with the index.
-    for (std::size_t r = tid; r < replications; r += nthreads) {
-      Rng rng = master.stream(r);
-      local.push(body(r, rng));
-    }
-    partial[tid] = local;
-  }
-#else
-  for (std::size_t r = 0; r < replications; ++r) {
-    Rng rng = master.stream(r);
-    partial[0].push(body(r, rng));
-  }
-#endif
-
-  // Deterministic merge order (thread id ascending). Note: merging in thread
-  // order makes the *aggregate mean* identical regardless of how many
-  // threads executed, because Chan merging of disjoint index sets is exact
-  // up to the fixed association order used here.
-  RunningStat total;
-  for (const auto& p : partial) total.merge(p);
-  return total;
+  const auto res = experiment::run_fixed(
+      replications, seed, 1,
+      [&](std::size_t r, Rng& rng, std::span<double> out) {
+        out[0] = body(r, rng);
+      });
+  return res.metrics[0];
 }
 
 std::vector<RunningStat> monte_carlo_vec(
     std::size_t replications, std::uint64_t seed, std::size_t dims,
     const std::function<void(std::size_t, Rng&, std::vector<double>&)>& body) {
   STOSCHED_REQUIRE(dims > 0, "need at least one output dimension");
-  const Rng master(seed);
-  const unsigned nthreads = monte_carlo_threads();
-  std::vector<std::vector<RunningStat>> partial(
-      nthreads, std::vector<RunningStat>(dims));
-
-#ifdef STOSCHED_HAVE_OPENMP
-#pragma omp parallel num_threads(nthreads)
-  {
-    const auto tid = static_cast<unsigned>(omp_get_thread_num());
-    std::vector<double> out(dims, 0.0);
-    auto& local = partial[tid];
-    for (std::size_t r = tid; r < replications; r += nthreads) {
-      Rng rng = master.stream(r);
-      std::fill(out.begin(), out.end(), 0.0);
-      body(r, rng, out);
-      for (std::size_t d = 0; d < dims; ++d) local[d].push(out[d]);
-    }
-  }
-#else
-  {
-    std::vector<double> out(dims, 0.0);
-    for (std::size_t r = 0; r < replications; ++r) {
-      Rng rng = master.stream(r);
-      std::fill(out.begin(), out.end(), 0.0);
-      body(r, rng, out);
-      for (std::size_t d = 0; d < dims; ++d) partial[0][d].push(out[d]);
-    }
-  }
-#endif
-
-  std::vector<RunningStat> total(dims);
-  for (const auto& p : partial)
-    for (std::size_t d = 0; d < dims; ++d) total[d].merge(p[d]);
-  return total;
+  // The engine hands bodies a span; the legacy interface promised a vector,
+  // so each call goes through a reusable thread-local buffer.
+  const auto res = experiment::run(
+      [&] {
+        experiment::EngineOptions opt;
+        opt.seed = seed;
+        opt.max_replications = replications;
+        return opt;
+      }(),
+      dims, [&](std::size_t r, Rng& rng, std::span<double> out) {
+        thread_local std::vector<double> buf;
+        buf.assign(out.size(), 0.0);
+        body(r, rng, buf);
+        for (std::size_t d = 0; d < out.size(); ++d) out[d] = buf[d];
+      });
+  return res.metrics;
 }
 
 }  // namespace stosched

@@ -1,18 +1,11 @@
-// parallel.hpp — deterministic Monte-Carlo replication driver.
+// parallel.hpp — compatibility shim over experiment/engine.hpp.
 //
-// Simulation experiments repeat independent replications and aggregate a
-// scalar (or small vector) outcome. The driver:
-//
-//   * derives one RNG stream per replication from a master seed, so results
-//     are a pure function of (seed, replications) — the schedule of
-//     replications onto threads is irrelevant;
-//   * fans replications out over OpenMP threads when available (the guides'
-//     explicit-parallelism doctrine: the caller states the parallel shape,
-//     nothing is implicit), falling back to serial execution;
-//   * merges per-thread RunningStat accumulators with the exact
-//     Chan–Golub–LeVeque combination, so the aggregate mean/variance is
-//     independent of the thread partition up to floating-point association
-//     order of the *merge tree*, which we fix by merging in thread order.
+// The original Monte-Carlo replication driver lived here; it is now a thin
+// type-erased wrapper around the experiment engine (same substream
+// derivation, same cell-ordered Chan–Golub–LeVeque merging), kept because a
+// `std::function` interface is convenient for quick call sites and tests.
+// New code — anything that wants paired (CRN) comparisons, sequential
+// stopping or named scenarios — should use stosched::experiment directly.
 #pragma once
 
 #include <cstddef>
@@ -27,7 +20,8 @@ namespace stosched {
 
 /// Run `replications` independent replications of `body`, where
 /// `body(rep_index, rng)` returns the replication's scalar outcome. Returns
-/// the merged statistics. Deterministic for fixed (seed, replications).
+/// the merged statistics. Deterministic for fixed (seed, replications) and
+/// bit-identical to `experiment::run_fixed` with one metric dimension.
 RunningStat monte_carlo(std::size_t replications, std::uint64_t seed,
                         const std::function<double(std::size_t, Rng&)>& body);
 

@@ -30,8 +30,7 @@ Table& Table::note(std::string text) {
 }
 
 Table& Table::verdict(bool pass, std::string what) {
-  verdicts_.push_back(std::string(pass ? "PASS" : "FAIL") + "  " +
-                      std::move(what));
+  verdicts_.push_back({pass, std::move(what)});
   all_pass_ = all_pass_ && pass;
   return *this;
 }
@@ -63,7 +62,8 @@ void Table::print(std::ostream& os) const {
   for (const auto& row : rows_) print_row(row);
   hline();
   for (const auto& n : notes_) os << "  note: " << n << '\n';
-  for (const auto& v : verdicts_) os << "  check: " << v << '\n';
+  for (const auto& v : verdicts_)
+    os << "  check: " << (v.pass ? "PASS" : "FAIL") << "  " << v.what << '\n';
   os << '\n';
 }
 

@@ -35,6 +35,28 @@ class Table {
   /// Render to a stream (column widths computed from content).
   void print(std::ostream& os) const;
 
+  /// One recorded PASS/FAIL check.
+  struct Verdict {
+    bool pass = false;
+    std::string what;
+  };
+
+  // Structured accessors for machine consumers (the JSON bench exporter).
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& row_cells()
+      const noexcept {
+    return rows_;
+  }
+  [[nodiscard]] const std::vector<std::string>& notes() const noexcept {
+    return notes_;
+  }
+  [[nodiscard]] const std::vector<Verdict>& verdicts() const noexcept {
+    return verdicts_;
+  }
+
   [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
   [[nodiscard]] bool all_checks_passed() const noexcept { return all_pass_; }
 
@@ -43,7 +65,7 @@ class Table {
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
   std::vector<std::string> notes_;
-  std::vector<std::string> verdicts_;
+  std::vector<Verdict> verdicts_;
   bool all_pass_ = true;
 };
 

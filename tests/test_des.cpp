@@ -47,6 +47,20 @@ TEST(EventQueue, ClearResets) {
   EXPECT_EQ(q.size(), 0u);
 }
 
+TEST(EventQueue, CapacityHintAndClearKeepCapacity) {
+  EventQueue q(256);
+  EXPECT_GE(q.capacity(), 256u);
+  for (int i = 0; i < 200; ++i) q.push(static_cast<double>(i), 0);
+  const std::size_t cap = q.capacity();
+  q.clear();
+  // A cleared heap is reusable without reallocating: capacity survives and
+  // the tie-break sequence restarts.
+  EXPECT_EQ(q.capacity(), cap);
+  EXPECT_TRUE(q.empty());
+  q.push(3.0, 7);
+  EXPECT_EQ(q.top().seq, 0u);
+}
+
 template <unsigned A>
 void random_heap_property() {
   DaryEventHeap<A> q;

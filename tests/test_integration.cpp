@@ -81,8 +81,10 @@ TEST(Integration, QueuePipelineCmuSimulationRegionAudit) {
   queueing::SimOptions opt;
   opt.discipline = queueing::Discipline::kPriorityNonPreemptive;
   opt.priority = rule.priority_order();
-  opt.horizon = 3e5;
-  opt.warmup = 3e4;
+  // The low-priority heavy-tail class converges slowly; 6e5 keeps the 5%
+  // region-containment check comfortably clear of Monte-Carlo noise.
+  opt.horizon = 6e5;
+  opt.warmup = 6e4;
   Rng rng(7);
   const auto res = simulate_mg1(classes, opt, rng);
 

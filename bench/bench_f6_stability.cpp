@@ -3,59 +3,64 @@
 // Lu–Kumar network with its destabilizing priority pair diverges although
 // both stations satisfy rho = 0.68 < 1; FCFS (and the safe priority pair)
 // remain stable.
+//
+// Runs on the experiment engine: the registered "lu-kumar" scenario, one
+// CRN-paired comparison over the three priority arms (all arms replay the
+// same per-class arrival and service substreams), replications added until
+// the backlog-difference CIs are tight (capped under STOSCHED_BENCH_SMOKE).
+#include <algorithm>
+
 #include "bench_common.hpp"
-#include "queueing/network.hpp"
-#include "util/rng.hpp"
+#include "experiment/adapters.hpp"
 #include "util/table.hpp"
 
 using namespace stosched;
-using namespace stosched::queueing;
+using namespace stosched::experiment;
 
 int main() {
   Table table("F6: Lu-Kumar network, rho_A = rho_B ≈ 0.68 < 1 [9]");
   table.columns({"policy", "mean jobs", "final jobs", "growth rate /1e3",
                  "stable?"});
 
-  const double lambda = 1.0, m1 = 0.01, m2 = 2.0 / 3.0, m3 = 0.01,
-               m4 = 2.0 / 3.0;
-  const double horizon = 40000.0;
+  NetworkScenario scenario = network_scenario("lu-kumar");
+  scenario.horizon = bench::smoke_scale(4e4, 6e3);
+  const auto arms = lu_kumar_policies();  // bad, FCFS, safe
 
-  struct Case {
-    std::string name;
-    NetworkConfig cfg;
-  };
-  std::vector<Case> cases;
-  cases.push_back({"bad priority (2>3, 4>1)",
-                   lu_kumar_network(lambda, m1, m2, m3, m4, true)});
-  cases.push_back({"FCFS", lu_kumar_network(lambda, m1, m2, m3, m4, false)});
-  {
-    auto safe = lu_kumar_network(lambda, m1, m2, m3, m4, true);
-    safe.station_priority = {{0, 3}, {2, 1}};  // first-stage priority
-    cases.push_back({"safe priority (1>4, 3>2)", safe});
-  }
+  EngineOptions opt;
+  opt.seed = 100;
+  opt.min_replications = 16;
+  opt.batch = 16;
+  opt.max_replications = bench::smoke_scale<std::size_t>(64, 16);
+  opt.rel_precision = 0.15;
+  opt.tracked = {0};  // stop on the mean-backlog differences vs the bad arm
+  const auto cmp = compare_network_policies(scenario, arms, opt,
+                                            Pairing::kCommonRandomNumbers);
 
   double bad_growth = 0.0, fcfs_growth = 0.0, safe_growth = 0.0;
   double bad_final = 0.0, fcfs_final = 0.0;
-  int row = 0;
-  for (const auto& c : cases) {
-    Rng rng(100 + row);
-    const auto trace = simulate_network(c.cfg, horizon, 80, rng);
-    const bool stable = trace.growth_rate < 0.002;  // jobs per time unit
-    if (row == 0) {
-      bad_growth = trace.growth_rate;
-      bad_final = trace.final_total;
+  for (std::size_t k = 0; k < arms.size(); ++k) {
+    const double mean_total = cmp.arm[k][0].mean();
+    const double final_total = cmp.arm[k][1].mean();
+    const double growth = cmp.arm[k][2].mean();
+    const bool stable = growth < 0.002;  // jobs per time unit
+    if (k == 0) {
+      bad_growth = growth;
+      bad_final = final_total;
     }
-    if (row == 1) {
-      fcfs_growth = trace.growth_rate;
-      fcfs_final = trace.final_total;
+    if (k == 1) {
+      fcfs_growth = growth;
+      fcfs_final = final_total;
     }
-    if (row == 2) safe_growth = trace.growth_rate;
-    table.add_row({c.name, fmt(trace.mean_total, 1), fmt(trace.final_total, 0),
-                   fmt(1000.0 * trace.growth_rate, 3),
+    if (k == 2) safe_growth = growth;
+    table.add_row({arms[k].name, fmt(mean_total, 1), fmt(final_total, 0),
+                   fmt(1000.0 * growth, 3),
                    stable ? "yes" : "NO (diverges)"});
-    ++row;
   }
+
   table.note("nominal rho < 1 at both stations in all three rows");
+  table.note("engine: " + std::to_string(cmp.replications) +
+             " CRN replications/arm, horizon " + fmt(scenario.horizon, 0) +
+             (cmp.converged ? "" : " (precision cap hit)"));
   table.verdict(bad_growth > 0.01,
                 "destabilizing priority diverges (linear backlog growth)");
   table.verdict(fcfs_growth < 0.002 && safe_growth < 0.002,

@@ -2,89 +2,77 @@
 // stochastic backlog under a priority rule tracks the fluid trajectory
 // (functional LLN), and the fluid cost ranking of policies predicts the
 // stochastic ranking — the premise of fluid-model scheduling heuristics.
+//
+// Runs on the experiment engine: the registered "f7-fluid" scenario, one
+// CRN-paired comparison of the cµ priority against its reverse. Each
+// replication reports the fluid-scaled cost integral plus the scaled backlog
+// path, so the FLLN overlay and the policy ranking share one run.
 #include <cmath>
 
 #include "bench_common.hpp"
+#include "experiment/adapters.hpp"
 #include "queueing/fluid.hpp"
-#include "util/parallel.hpp"
-#include "util/rng.hpp"
 #include "util/table.hpp"
 
 using namespace stosched;
-using namespace stosched::queueing;
+using namespace stosched::experiment;
 
 int main() {
   Table table("F7: fluid limit of a 2-class priority queue [11,3]");
-  table.columns({"t / T_drain", "fluid q1", "fluid q2", "sim q1/n (n=400)",
-                 "sim q2/n (n=400)", "max dev"});
 
-  const std::vector<FluidClass> classes{{0.3, 1.0, 2.0}, {0.2, 0.8, 1.0}};
-  const auto priority = fluid_cmu_priority(classes);
-  const std::vector<double> q0{1.0, 1.5};
-  const auto fluid = fluid_drain(classes, q0, priority);
-  const double scale = 400.0;
+  FluidScenario scenario = fluid_scenario("f7-fluid");
+  scenario.scale = bench::smoke_scale(400.0, 100.0);
+  const int n_label = static_cast<int>(scenario.scale);
+  table.columns({"t / T_drain", "fluid q1", "fluid q2",
+                 "sim q1/n (n=" + std::to_string(n_label) + ")",
+                 "sim q2/n (n=" + std::to_string(n_label) + ")", "max dev"});
 
-  std::vector<double> sample_times;
-  for (int i = 1; i <= 8; ++i)
-    sample_times.push_back(fluid.drain_time * i / 10.0 * scale);
+  const auto priority = queueing::fluid_cmu_priority(scenario.classes);
+  const std::vector<std::size_t> reverse(priority.rbegin(), priority.rend());
+  const auto fluid =
+      queueing::fluid_drain(scenario.classes, scenario.initial, priority);
 
-  // Average several scaled sample paths.
-  const std::size_t reps = 40;
-  std::vector<std::vector<double>> mean_path(sample_times.size(),
-                                             std::vector<double>(2, 0.0));
-  Rng master(7);
-  for (std::size_t r = 0; r < reps; ++r) {
-    Rng rng = master.stream(r);
-    const auto path = simulate_backlog_path(
-        classes, {static_cast<std::size_t>(scale * q0[0]),
-                  static_cast<std::size_t>(scale * q0[1])},
-        priority, sample_times, rng);
-    for (std::size_t i = 0; i < sample_times.size(); ++i)
-      for (std::size_t j = 0; j < 2; ++j)
-        mean_path[i][j] += path[i][j] / (scale * reps);
-  }
+  EngineOptions opt;
+  opt.seed = 7;
+  opt.min_replications = bench::smoke_scale<std::size_t>(48, 16);
+  opt.batch = 16;
+  opt.max_replications = bench::smoke_scale<std::size_t>(128, 16);
+  opt.rel_precision = 0.02;
+  opt.tracked = {0};  // stop on the cost-integral difference CI
+  const auto cmp = compare_fluid_policies(scenario, {priority, reverse}, opt,
+                                          Pairing::kCommonRandomNumbers);
 
+  const std::size_t nc = scenario.classes.size();
   double worst_dev = 0.0;
-  for (std::size_t i = 0; i < sample_times.size(); ++i) {
-    const auto f = fluid.at(sample_times[i] / scale);
+  for (std::size_t i = 0; i < scenario.path_fractions.size(); ++i) {
+    const auto f = fluid.at(scenario.path_fractions[i] * fluid.drain_time);
     double dev = 0.0;
-    for (std::size_t j = 0; j < 2; ++j)
-      dev = std::max(dev, std::abs(mean_path[i][j] - f[j]));
+    std::vector<double> sim(nc);
+    for (std::size_t j = 0; j < nc; ++j) {
+      sim[j] = cmp.arm[0][1 + i * nc + j].mean();
+      dev = std::max(dev, std::abs(sim[j] - f[j]));
+    }
     worst_dev = std::max(worst_dev, dev);
-    table.add_row({fmt(0.1 * (i + 1), 1), fmt(f[0], 3), fmt(f[1], 3),
-                   fmt(mean_path[i][0], 3), fmt(mean_path[i][1], 3),
+    table.add_row({fmt(scenario.path_fractions[i], 1), fmt(f[0], 3),
+                   fmt(f[1], 3), fmt(sim[0], 3), fmt(sim[1], 3),
                    fmt(dev, 3)});
   }
 
-  // Policy ranking: fluid cost integral vs stochastic cost integral for the
-  // cµ order and its reverse.
-  std::vector<std::size_t> reverse(priority.rbegin(), priority.rend());
+  // Policy ranking: fluid cost integral vs the engine's stochastic cost
+  // integral for the cµ order and its reverse.
   const double fluid_good = fluid.cost_integral;
   const double fluid_bad =
-      fluid_drain(classes, q0, reverse).cost_integral;
-  auto stochastic_cost = [&](const std::vector<std::size_t>& prio) {
-    const auto stat = monte_carlo(40, 99, [&](std::size_t, Rng& r) {
-      std::vector<double> times;
-      const double t_end = 2.0 * fluid.drain_time * scale;
-      for (int i = 1; i <= 60; ++i) times.push_back(t_end * i / 60.0);
-      const auto path = simulate_backlog_path(
-          classes, {static_cast<std::size_t>(scale * q0[0]),
-                    static_cast<std::size_t>(scale * q0[1])},
-          prio, times, r);
-      double cost = 0.0;
-      for (std::size_t i = 0; i < times.size(); ++i)
-        cost += (classes[0].cost * path[i][0] + classes[1].cost * path[i][1]) *
-                (t_end / 60.0);
-      return cost / (scale * scale);  // fluid scaling of the cost integral
-    });
-    return stat.mean();
-  };
-  const double sto_good = stochastic_cost(priority);
-  const double sto_bad = stochastic_cost(reverse);
+      queueing::fluid_drain(scenario.classes, scenario.initial, reverse)
+          .cost_integral;
+  const double sto_good = cmp.arm[0][0].mean();
+  const double sto_bad = cmp.arm[1][0].mean();
 
   table.note("fluid ranking: cmu " + fmt(fluid_good, 2) + " < reverse " +
-             fmt(fluid_bad, 2) + "; stochastic: " + fmt(sto_good, 2) + " vs " +
-             fmt(sto_bad, 2));
+             fmt(fluid_bad, 2) + "; stochastic: " + fmt(sto_good, 2) +
+             " vs " + fmt(sto_bad, 2));
+  table.note("engine: " + std::to_string(cmp.replications) +
+             " CRN replications/arm" +
+             (cmp.converged ? "" : " (precision cap hit)"));
   table.verdict(worst_dev < 0.12,
                 "scaled sample paths track the fluid trajectory (FLLN)");
   table.verdict(fluid_good < fluid_bad && sto_good < sto_bad,

@@ -11,6 +11,8 @@
 //     fluid models;
 //   * unifying machinery: conservation laws, achievable regions, adaptive
 //     greedy indices, priority-rule catalog;
+//   * the experiment engine: replication driver, CRN paired comparisons,
+//     sequential-precision stopping, scenario registry and adapters;
 //   * substrates: distributions, RNG, statistics, discrete-event kernel,
 //     LP solver, finite MDP solvers.
 #pragma once
@@ -60,3 +62,7 @@
 #include "core/conservation.hpp"
 #include "core/achievable_region.hpp"
 #include "core/policy.hpp"
+
+#include "experiment/engine.hpp"
+#include "experiment/scenario.hpp"
+#include "experiment/adapters.hpp"

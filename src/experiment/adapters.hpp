@@ -41,11 +41,38 @@ struct PollingPolicy {
   std::size_t limit = 1;
 };
 
+/// One per-station priority assignment for a network scenario. Empty lists
+/// mean FCFS at every station; non-empty lists must cover each station's
+/// classes exactly (NetworkConfig::validate enforces it).
+struct NetworkPolicy {
+  std::string name;
+  std::vector<std::vector<std::size_t>> station_priority;
+};
+
+/// One static priority order for an M/M/m scenario.
+struct MmmPolicy {
+  std::string name;
+  std::vector<std::size_t> priority;
+};
+
+/// The named policy arms of the Lu–Kumar stability experiment, in bench F6
+/// order: the destabilizing pair (arm 0), FCFS, and the safe first-stage
+/// pair — the canonical bad/stable contrast on the "lu-kumar" scenario.
+std::vector<NetworkPolicy> lu_kumar_policies();
+
 /// Metric layout of each scenario family (delegates to the simulator).
 std::size_t metric_count(const QueueScenario& s);
 std::vector<std::string> metric_names(const QueueScenario& s);
 std::size_t metric_count(const PollingScenario& s);
 std::vector<std::string> metric_names(const PollingScenario& s);
+std::size_t metric_count(const NetworkScenario& s);
+std::vector<std::string> metric_names(const NetworkScenario& s);
+std::size_t metric_count(const MmmScenario& s);
+std::vector<std::string> metric_names(const MmmScenario& s);
+/// Fluid layout: [cost_integral, then per path fraction i, per class j:
+/// scaled level q_j(t_i)/n].
+std::size_t metric_count(const FluidScenario& s);
+std::vector<std::string> metric_names(const FluidScenario& s);
 
 /// Uniform replication entry points on scenario types.
 void run_replication(const QueueScenario& s, const QueuePolicy& policy,
@@ -56,8 +83,21 @@ void run_replication(const PollingScenario& s, const PollingPolicy& policy,
 void run_replication(const RestlessScenario& s,
                      const restless::PriorityTable& priority, Rng& rng,
                      std::span<double> out);
-/// Batch: single metric, the realized weighted flowtime of `order`.
+/// Batch: single metric, the realized weighted flowtime of `order` (list
+/// policy on s.machines machines; the exact single-machine path when
+/// machines == 1).
 void run_replication(const BatchScenario& s, const batch::Order& order,
+                     Rng& rng, std::span<double> out);
+void run_replication(const NetworkScenario& s, const NetworkPolicy& policy,
+                     Rng& rng, std::span<double> out);
+void run_replication(const MmmScenario& s, const MmmPolicy& policy, Rng& rng,
+                     std::span<double> out);
+/// Fluid: the policy arm is a priority order over the fluid classes.
+void run_replication(const FluidScenario& s,
+                     const std::vector<std::size_t>& priority, Rng& rng,
+                     std::span<double> out);
+/// Tree: single metric, the realized makespan under `policy`.
+void run_replication(const TreeScenario& s, batch::TreePolicy policy,
                      Rng& rng, std::span<double> out);
 
 /// Engine drivers: replications of one policy on one scenario.
@@ -70,6 +110,15 @@ EngineResult run_restless(const RestlessScenario& s,
                           const EngineOptions& opt);
 EngineResult run_batch(const BatchScenario& s, const batch::Order& order,
                        const EngineOptions& opt);
+EngineResult run_network(const NetworkScenario& s, const NetworkPolicy& policy,
+                         const EngineOptions& opt);
+EngineResult run_mmm(const MmmScenario& s, const MmmPolicy& policy,
+                     const EngineOptions& opt);
+EngineResult run_fluid(const FluidScenario& s,
+                       const std::vector<std::size_t>& priority,
+                       const EngineOptions& opt);
+EngineResult run_tree(const TreeScenario& s, batch::TreePolicy policy,
+                      const EngineOptions& opt);
 
 /// Paired policy comparisons (arm 0 is the baseline the differences are
 /// taken against).
@@ -84,5 +133,18 @@ PairedResult compare_restless_policies(
     const RestlessScenario& s,
     const std::vector<restless::PriorityTable>& arms, const EngineOptions& opt,
     Pairing pairing);
+PairedResult compare_network_policies(const NetworkScenario& s,
+                                      const std::vector<NetworkPolicy>& arms,
+                                      const EngineOptions& opt,
+                                      Pairing pairing);
+PairedResult compare_mmm_policies(const MmmScenario& s,
+                                  const std::vector<MmmPolicy>& arms,
+                                  const EngineOptions& opt, Pairing pairing);
+PairedResult compare_fluid_policies(
+    const FluidScenario& s, const std::vector<std::vector<std::size_t>>& arms,
+    const EngineOptions& opt, Pairing pairing);
+PairedResult compare_tree_policies(const TreeScenario& s,
+                                   const std::vector<batch::TreePolicy>& arms,
+                                   const EngineOptions& opt, Pairing pairing);
 
 }  // namespace stosched::experiment

@@ -35,6 +35,20 @@ restless::RestlessInstance RestlessScenario::instance() const {
   return restless::symmetric_instance(prototype, projects, activate);
 }
 
+std::vector<double> NetworkScenario::intensities() const {
+  return queueing::station_intensities(config);
+}
+
+double MmmScenario::load() const {
+  return queueing::traffic_intensity(classes) / servers;
+}
+
+double FluidScenario::reference_drain_time() const {
+  return queueing::fluid_drain(classes, initial,
+                               queueing::fluid_cmu_priority(classes))
+      .drain_time;
+}
+
 RestlessScenario RestlessScenario::with_population(std::size_t n) const {
   STOSCHED_REQUIRE(n >= 1 && projects >= 1, "population must be >= 1");
   RestlessScenario out = *this;
@@ -173,7 +187,84 @@ Registry<BatchScenario> build_batch_registry() {
            {{3.0, exponential_dist(0.5)},
             {1.0, deterministic_dist(1.0)},
             {2.0, erlang_dist(3, 1.0)},
-            {0.5, hyperexp2_dist(4.0, 3.0)}}});
+            {0.5, hyperexp2_dist(4.0, 3.0)}},
+           1});
+  // Representative members of the generated families; the sweeps call the
+  // generators directly (turnpike_scenario(n), twopoint_scenario(i)).
+  {
+    BatchScenario turnpike = turnpike_scenario(100);
+    turnpike.name = "turnpike";
+    reg.add(std::move(turnpike));
+  }
+  {
+    BatchScenario twopoint = twopoint_scenario(0);
+    twopoint.name = "t5-twopoint";
+    reg.add(std::move(twopoint));
+  }
+  return reg;
+}
+
+Registry<NetworkScenario> build_network_registry() {
+  Registry<NetworkScenario> reg;
+  // The Lu–Kumar instance of bench F6: rho ~ 0.68 at both stations, yet
+  // m2 + m4 = 4/3 > 1 destabilizes the "bad" priority pair. The priority
+  // assignment is the policy arm (lu_kumar_policies() in adapters.hpp).
+  NetworkScenario lk;
+  lk.name = "lu-kumar";
+  lk.description =
+      "Lu-Kumar 4-class 2-station network, rho ~ 0.68 < 1 (bench F6)";
+  lk.config = queueing::lu_kumar_network(1.0, 0.01, 2.0 / 3.0, 0.01,
+                                         2.0 / 3.0, /*bad_priority=*/false);
+  lk.horizon = 4e4;
+  lk.samples = 80;
+  reg.add(std::move(lk));
+  return reg;
+}
+
+Registry<MmmScenario> build_mmm_registry() {
+  Registry<MmmScenario> reg;
+  // The F5 instance: two classes carrying 60%/40% of the offered load of an
+  // M/M/2, distinct c-mu indices. Sweeps derive variants via
+  // mmm_scale_to_load (heavy traffic) and with_servers (pool size).
+  MmmScenario pooling;
+  pooling.name = "parallel-pooling";
+  pooling.description =
+      "2-class M/M/2 c-mu pooling workload, rho = 0.85 (bench F5)";
+  pooling.servers = 2;
+  const double rho = 0.85;
+  pooling.classes = {
+      {0.6 * rho * pooling.servers * 1.5, exponential_dist(1.5), 2.0},
+      {0.4 * rho * pooling.servers * 2.25, exponential_dist(2.25), 1.0}};
+  pooling.horizon = 2e5;
+  pooling.warmup = 2e4;
+  reg.add(std::move(pooling));
+  return reg;
+}
+
+Registry<FluidScenario> build_fluid_registry() {
+  Registry<FluidScenario> reg;
+  // The F7 instance: a 2-class priority queue drained from a fluid-scaled
+  // backlog; path sampled at 8 fractions of the cmu drain time.
+  FluidScenario f7;
+  f7.name = "f7-fluid";
+  f7.description =
+      "2-class fluid-limit draining workload, scale n = 400 (bench F7)";
+  f7.classes = {{0.3, 1.0, 2.0}, {0.2, 0.8, 1.0}};
+  f7.initial = {1.0, 1.5};
+  f7.scale = 400.0;
+  for (int i = 1; i <= 8; ++i)
+    f7.path_fractions.push_back(0.1 * static_cast<double>(i));
+  f7.horizon_factor = 2.0;
+  f7.cost_samples = 60;
+  reg.add(std::move(f7));
+  return reg;
+}
+
+Registry<TreeScenario> build_tree_registry() {
+  Registry<TreeScenario> reg;
+  TreeScenario t = intree_scenario(100);
+  t.name = "intree";
+  reg.add(std::move(t));
   return reg;
 }
 
@@ -197,6 +288,26 @@ const Registry<BatchScenario>& batch_registry() {
   return reg;
 }
 
+const Registry<NetworkScenario>& network_registry() {
+  static const Registry<NetworkScenario> reg = build_network_registry();
+  return reg;
+}
+
+const Registry<MmmScenario>& mmm_registry() {
+  static const Registry<MmmScenario> reg = build_mmm_registry();
+  return reg;
+}
+
+const Registry<FluidScenario>& fluid_registry() {
+  static const Registry<FluidScenario> reg = build_fluid_registry();
+  return reg;
+}
+
+const Registry<TreeScenario>& tree_registry() {
+  static const Registry<TreeScenario> reg = build_tree_registry();
+  return reg;
+}
+
 }  // namespace
 
 const QueueScenario& queue_scenario(std::string_view name) {
@@ -215,6 +326,22 @@ const BatchScenario& batch_scenario(std::string_view name) {
   return batch_registry().get(name, "batch");
 }
 
+const NetworkScenario& network_scenario(std::string_view name) {
+  return network_registry().get(name, "network");
+}
+
+const MmmScenario& mmm_scenario(std::string_view name) {
+  return mmm_registry().get(name, "parallel-server");
+}
+
+const FluidScenario& fluid_scenario(std::string_view name) {
+  return fluid_registry().get(name, "fluid");
+}
+
+const TreeScenario& tree_scenario(std::string_view name) {
+  return tree_registry().get(name, "tree");
+}
+
 std::vector<std::string> queue_scenario_names() {
   return queue_registry().names();
 }
@@ -229,6 +356,20 @@ std::vector<std::string> restless_scenario_names() {
 
 std::vector<std::string> batch_scenario_names() {
   return batch_registry().names();
+}
+
+std::vector<std::string> network_scenario_names() {
+  return network_registry().names();
+}
+
+std::vector<std::string> mmm_scenario_names() { return mmm_registry().names(); }
+
+std::vector<std::string> fluid_scenario_names() {
+  return fluid_registry().names();
+}
+
+std::vector<std::string> tree_scenario_names() {
+  return tree_registry().names();
 }
 
 QueueScenario scale_to_load(QueueScenario s, double rho) {
@@ -246,6 +387,78 @@ QueueScenario scale_to_load(QueueScenario s, double rho) {
 PollingScenario with_switchover(PollingScenario s, DistPtr law) {
   STOSCHED_REQUIRE(law != nullptr, "switchover law required");
   s.switchover = std::move(law);
+  return s;
+}
+
+MmmScenario mmm_scale_to_load(MmmScenario s, double rho) {
+  STOSCHED_REQUIRE(rho > 0.0, "target load must be > 0");
+  const double base = s.load();
+  STOSCHED_REQUIRE(base > 0.0, "scenario has zero load");
+  const double factor = rho / base;
+  for (auto& c : s.classes) c.arrival_rate *= factor;
+  std::ostringstream os;
+  os << s.name << "@rho=" << rho;
+  s.name = os.str();
+  return s;
+}
+
+MmmScenario with_servers(MmmScenario s, unsigned m) {
+  STOSCHED_REQUIRE(m >= 1, "need at least one server");
+  const double factor = static_cast<double>(m) / s.servers;
+  for (auto& c : s.classes) c.arrival_rate *= factor;
+  s.servers = m;
+  s.name += "-m" + std::to_string(m);
+  return s;
+}
+
+BatchScenario turnpike_scenario(std::size_t n) {
+  STOSCHED_REQUIRE(n >= 1, "need at least one job");
+  // Deterministic family seed: matches the F1 scaling panel's historical
+  // generation, so bench values are comparable across commits.
+  const Rng master(4242);
+  Rng rng = master.stream(1000 + n);
+  BatchScenario s;
+  s.name = "turnpike-n" + std::to_string(n);
+  s.description = "F1 turnpike batch: exponential jobs on 3 machines";
+  s.machines = 3;
+  s.jobs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double mean = rng.uniform(0.5, 4.0);
+    s.jobs.push_back({rng.uniform(0.5, 3.0), exponential_dist(1.0 / mean)});
+  }
+  return s;
+}
+
+BatchScenario twopoint_scenario(std::size_t instance) {
+  // Deterministic family seed: matches the T5 counterexample instances.
+  const Rng master(77);
+  Rng rng = master.stream(instance);
+  BatchScenario s;
+  s.name = "t5-twopoint-" + std::to_string(instance);
+  s.description =
+      "T5 two-point counterexample instance on 2 machines (Coffman-Hofri-"
+      "Weiss family)";
+  s.machines = 2;
+  const std::size_t n = 5 + rng.below(2);  // 5..6 (exhaustive opt is n!)
+  s.jobs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform(0.05, 0.5);
+    const double b = a + rng.uniform(2.0, 12.0);
+    const double pa = rng.uniform(0.5, 0.95);
+    s.jobs.push_back({1.0, two_point_dist(a, pa, b)});
+  }
+  return s;
+}
+
+TreeScenario intree_scenario(std::size_t n) {
+  const Rng master(1234);
+  Rng tree_rng = master.stream(n);
+  TreeScenario s;
+  s.name = "intree-n" + std::to_string(n);
+  s.description = "F8 random in-tree: Exp(1) tasks on 3 machines";
+  s.tree = batch::random_in_tree(n, tree_rng);
+  s.machines = 3;
+  s.rate = 1.0;
   return s;
 }
 

@@ -14,9 +14,19 @@
 //   * PollingScenario  — queues plus a switchover law;
 //   * RestlessScenario — a restless prototype replicated into a symmetric
 //                        N-project instance with an activation budget;
-//   * BatchScenario    — a fixed batch of stochastic jobs.
+//   * BatchScenario    — a fixed batch of stochastic jobs on one or more
+//                        identical machines;
+//   * NetworkScenario  — a multistation multiclass network workload (the
+//                        stability experiments); the per-station priority is
+//                        the *policy arm*, not part of the scenario;
+//   * MmmScenario      — a multiclass M/M/m workload (parallel pooling);
+//   * FluidScenario    — a fluid-scaled draining workload (FLLN
+//                        experiments);
+//   * TreeScenario     — an in-tree precedence instance on parallel
+//                        machines.
 //
-// Helpers derive swept variants (scale_to_load, with_switchover) without
+// Helpers derive swept variants (scale_to_load, with_switchover,
+// with_servers, turnpike_scenario(n), intree_scenario(n), ...) without
 // mutating the registered base scenario.
 #pragma once
 
@@ -26,7 +36,11 @@
 #include <vector>
 
 #include "batch/job.hpp"
+#include "batch/precedence.hpp"
+#include "queueing/fluid.hpp"
 #include "queueing/mg1.hpp"
+#include "queueing/network.hpp"
+#include "queueing/parallel_servers.hpp"
 #include "queueing/polling.hpp"
 #include "restless/restless_project.hpp"
 
@@ -78,11 +92,75 @@ struct RestlessScenario {
   [[nodiscard]] RestlessScenario with_population(std::size_t n) const;
 };
 
-/// A fixed batch of stochastic jobs (single-machine experiments).
+/// A fixed batch of stochastic jobs scheduled by a list order on `machines`
+/// identical machines (1 = the single-machine experiments).
 struct BatchScenario {
   std::string name;
   std::string description;
   batch::Batch jobs;
+  unsigned machines = 1;
+};
+
+/// A multistation multiclass network workload. `config.station_priority` is
+/// deliberately left empty: the priority assignment is the policy arm (see
+/// experiment::NetworkPolicy), so CRN comparisons replay one workload under
+/// several priority choices.
+struct NetworkScenario {
+  std::string name;
+  std::string description;
+  queueing::NetworkConfig config;
+  double horizon = 4e4;
+  std::size_t samples = 80;  ///< trace snapshots per run
+
+  /// Nominal per-station traffic intensities of the workload.
+  [[nodiscard]] std::vector<double> intensities() const;
+};
+
+/// A multiclass M/M/m workload; the priority order is the policy arm.
+struct MmmScenario {
+  std::string name;
+  std::string description;
+  std::vector<queueing::ClassSpec> classes;
+  unsigned servers = 2;
+  double horizon = 2e5;
+  double warmup = 2e4;
+
+  /// Per-server traffic intensity rho = sum_j rho_j / m.
+  [[nodiscard]] double load() const;
+};
+
+/// A fluid-scaled draining workload: initial backlog `scale * initial`,
+/// sampled along the (cmu-priority) fluid drain. One replication reports the
+/// fluid-scaled cost integral plus the scaled backlog path at
+/// `path_fractions` of the reference drain time.
+struct FluidScenario {
+  std::string name;
+  std::string description;
+  std::vector<queueing::FluidClass> classes;
+  std::vector<double> initial;  ///< fluid-scale initial levels
+  double scale = 400.0;         ///< FLLN scaling factor n
+  /// Fractions of the reference drain time at which the scaled path is
+  /// reported as metrics (may be empty for cost-only scenarios).
+  std::vector<double> path_fractions;
+  /// Simulated horizon: `horizon_factor * drain_time * scale`, unless
+  /// `t_end > 0` fixes an absolute horizon instead.
+  double horizon_factor = 2.0;
+  double t_end = 0.0;
+  std::size_t cost_samples = 60;  ///< Riemann grid for the cost integral
+
+  /// Drain time of the fluid trajectory under the cmu priority — the
+  /// reference clock for path fractions and the default horizon.
+  [[nodiscard]] double reference_drain_time() const;
+};
+
+/// An in-tree precedence instance: i.i.d. Exp(rate) tasks on `machines`
+/// identical machines; the TreePolicy is the policy arm.
+struct TreeScenario {
+  std::string name;
+  std::string description;
+  batch::InTree tree;
+  unsigned machines = 3;
+  double rate = 1.0;
 };
 
 /// Registry lookups. Unknown names throw std::invalid_argument listing the
@@ -91,11 +169,19 @@ const QueueScenario& queue_scenario(std::string_view name);
 const PollingScenario& polling_scenario(std::string_view name);
 const RestlessScenario& restless_scenario(std::string_view name);
 const BatchScenario& batch_scenario(std::string_view name);
+const NetworkScenario& network_scenario(std::string_view name);
+const MmmScenario& mmm_scenario(std::string_view name);
+const FluidScenario& fluid_scenario(std::string_view name);
+const TreeScenario& tree_scenario(std::string_view name);
 
 std::vector<std::string> queue_scenario_names();
 std::vector<std::string> polling_scenario_names();
 std::vector<std::string> restless_scenario_names();
 std::vector<std::string> batch_scenario_names();
+std::vector<std::string> network_scenario_names();
+std::vector<std::string> mmm_scenario_names();
+std::vector<std::string> fluid_scenario_names();
+std::vector<std::string> tree_scenario_names();
 
 /// Rescale every arrival rate by a common factor so the base traffic
 /// intensity becomes `rho` — the standard load-sweep transform.
@@ -103,5 +189,27 @@ QueueScenario scale_to_load(QueueScenario s, double rho);
 
 /// Swap in a different switchover law (setup-time sweeps).
 PollingScenario with_switchover(PollingScenario s, DistPtr law);
+
+/// Rescale arrival rates so the per-server load becomes `rho` (the heavy-
+/// traffic sweep of experiment F5).
+MmmScenario mmm_scale_to_load(MmmScenario s, double rho);
+
+/// Server-count sweep: set the pool size to `m`, scaling arrival rates so
+/// the per-server load is unchanged.
+MmmScenario with_servers(MmmScenario s, unsigned m);
+
+/// The F1 turnpike batch of size n on 3 machines: exponential jobs with
+/// U(0.5, 4) means and U(0.5, 3) weights, generated deterministically from
+/// the registered family seed (the registry's "turnpike" entry is this at
+/// n = 100).
+BatchScenario turnpike_scenario(std::size_t n);
+
+/// The T5 two-point counterexample instance family on 2 machines (the
+/// registry's "t5-twopoint" entry is instance 0).
+BatchScenario twopoint_scenario(std::size_t instance);
+
+/// The F8 random in-tree on n nodes, 3 machines, Exp(1) tasks (the
+/// registry's "intree" entry is this at n = 100).
+TreeScenario intree_scenario(std::size_t n);
 
 }  // namespace stosched::experiment

@@ -22,13 +22,25 @@ void NetworkConfig::validate() const {
   if (!station_priority.empty()) {
     STOSCHED_REQUIRE(station_priority.size() == num_stations,
                      "per-station priority shape mismatch");
+    // Each list must be a permutation of exactly the classes at its station:
+    // the dispatch scan only looks at listed classes, so an omitted class
+    // would silently never be served (unbounded backlog, bogus growth rate).
+    std::vector<char> listed(classes.size(), 0);
     for (std::size_t st = 0; st < num_stations; ++st) {
       for (const std::size_t cls : station_priority[st]) {
         STOSCHED_REQUIRE(cls < classes.size(), "priority class out of range");
         STOSCHED_REQUIRE(classes[cls].station == st,
                          "priority lists classes of another station");
+        STOSCHED_REQUIRE(!listed[cls],
+                         "priority lists a class more than once");
+        listed[cls] = 1;
       }
     }
+    for (std::size_t c = 0; c < classes.size(); ++c)
+      STOSCHED_REQUIRE(
+          listed[c],
+          "station priority must list every class at the station exactly "
+          "once; an omitted class would never be served (silent starvation)");
   }
 }
 
@@ -70,6 +82,19 @@ NetworkTrace simulate_network(const NetworkConfig& config, double horizon,
   const std::size_t ns = config.num_stations;
   const bool fcfs = config.station_priority.empty();
 
+  // Per-purpose substreams (see the header comment): class c's external
+  // arrivals and its service requirements each draw from their own stream,
+  // so the workload is identical under every priority assignment — the
+  // common-random-number synchronization for policy comparisons.
+  const Rng root(rng());
+  std::vector<Rng> arrival_rng, service_rng;
+  arrival_rng.reserve(nc);
+  service_rng.reserve(nc);
+  for (std::size_t c = 0; c < nc; ++c) {
+    arrival_rng.push_back(root.stream(2 * c));
+    service_rng.push_back(root.stream(2 * c + 1));
+  }
+
   EventQueue events;
   // Per class FIFO (arrival times); per station FCFS order (class ids).
   std::vector<std::deque<double>> queue(nc);
@@ -109,8 +134,10 @@ NetworkTrace simulate_network(const NetworkConfig& config, double horizon,
     queue[pick].pop_front();
     busy[st] = 1;
     serving[st] = pick;
-    events.push(now + rng.exponential(1.0 / config.classes[pick].service_mean),
-                kServiceDone, static_cast<std::uint32_t>(st));
+    events.push(
+        now + service_rng[pick].exponential(
+                  1.0 / config.classes[pick].service_mean),
+        kServiceDone, static_cast<std::uint32_t>(st));
   };
 
   auto enqueue_job = [&](std::size_t cls) {
@@ -121,8 +148,8 @@ NetworkTrace simulate_network(const NetworkConfig& config, double horizon,
 
   for (std::size_t c = 0; c < nc; ++c)
     if (config.classes[c].arrival_rate > 0.0)
-      events.push(rng.exponential(config.classes[c].arrival_rate), kArrival,
-                  static_cast<std::uint32_t>(c));
+      events.push(arrival_rng[c].exponential(config.classes[c].arrival_rate),
+                  kArrival, static_cast<std::uint32_t>(c));
   for (std::size_t s = 1; s <= samples; ++s)
     events.push(horizon * static_cast<double>(s) / static_cast<double>(samples),
                 kSample, 0);
@@ -137,8 +164,9 @@ NetworkTrace simulate_network(const NetworkConfig& config, double horizon,
     switch (e.type) {
       case kArrival: {
         const auto cls = static_cast<std::size_t>(e.a);
-        events.push(now + rng.exponential(config.classes[cls].arrival_rate),
-                    kArrival, e.a);
+        events.push(
+            now + arrival_rng[cls].exponential(config.classes[cls].arrival_rate),
+            kArrival, e.a);
         ++total_jobs;
         total_ta.observe(now, static_cast<double>(total_jobs));
         enqueue_job(cls);
@@ -183,6 +211,22 @@ NetworkTrace simulate_network(const NetworkConfig& config, double horizon,
                                 : 0.0;
   }
   return trace;
+}
+
+std::size_t network_metric_count() { return 3; }
+
+std::vector<std::string> network_metric_names() {
+  return {"mean_total", "final_total", "growth_rate"};
+}
+
+void run_replication(const NetworkConfig& config, double horizon,
+                     std::size_t samples, Rng& rng, std::span<double> out) {
+  STOSCHED_REQUIRE(out.size() == network_metric_count(),
+                   "metric span size mismatch");
+  const NetworkTrace trace = simulate_network(config, horizon, samples, rng);
+  out[0] = trace.mean_total;
+  out[1] = trace.final_total;
+  out[2] = trace.growth_rate;
 }
 
 NetworkConfig lu_kumar_network(double lambda, double m1, double m2, double m3,

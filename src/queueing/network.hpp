@@ -20,6 +20,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -40,7 +42,12 @@ struct NetworkClass {
 struct NetworkConfig {
   std::vector<NetworkClass> classes;
   std::size_t num_stations = 0;
-  /// Per-station priority over classes (highest first); empty = FCFS.
+  /// Per-station priority over classes (highest first); empty = FCFS at every
+  /// station. When non-empty, each station's list must be a *permutation of
+  /// exactly the classes served at that station*: a class omitted from its
+  /// station's list would never be picked by the priority scan and its jobs
+  /// would accumulate unboundedly — fake "instability". validate() rejects
+  /// partial lists.
   std::vector<std::vector<std::size_t>> station_priority;
 
   void validate() const;
@@ -58,8 +65,27 @@ struct NetworkTrace {
   double growth_rate = 0.0;
 };
 
+/// Run one replication. Deterministic in (config, horizon, samples, rng
+/// state).
+///
+/// Randomness is split into per-purpose substreams derived from one draw of
+/// `rng` (per-class arrival stream, per-class service stream), so two
+/// priority assignments replaying the same `rng` state see the *same*
+/// external arrival epochs and the same k-th service requirement per class —
+/// the synchronization that makes common-random-number policy comparisons
+/// (experiment::run_paired) effective for stability studies.
 NetworkTrace simulate_network(const NetworkConfig& config, double horizon,
                               std::size_t samples, Rng& rng);
+
+/// Experiment-engine adapter: metric vector layout is
+///   [mean_total, final_total, growth_rate].
+std::size_t network_metric_count();
+std::vector<std::string> network_metric_names();
+
+/// Uniform replication entry point: one simulate_network run, metrics
+/// written into `out` (size network_metric_count()).
+void run_replication(const NetworkConfig& config, double horizon,
+                     std::size_t samples, Rng& rng, std::span<double> out);
 
 /// The Lu–Kumar network with the destabilizing priorities (or FCFS).
 NetworkConfig lu_kumar_network(double lambda, double m1, double m2, double m3,

@@ -26,9 +26,36 @@ MmmResult simulate_mmm(const std::vector<ClassSpec>& classes,
   STOSCHED_REQUIRE(n >= 1, "need at least one class");
   STOSCHED_REQUIRE(servers >= 1, "need at least one server");
   STOSCHED_REQUIRE(priority.size() == n, "priority must cover all classes");
+  STOSCHED_REQUIRE(horizon > 0.0, "horizon must be > 0");
+  STOSCHED_REQUIRE(warmup >= 0.0, "warmup must be >= 0");
 
+  // An out-of-range entry would write rank[] out of bounds; a duplicate
+  // would silently leave some class with a stale rank. Require a
+  // permutation of 0..n-1 outright.
   std::vector<std::size_t> rank(n);
-  for (std::size_t pos = 0; pos < n; ++pos) rank[priority[pos]] = pos;
+  {
+    std::vector<char> seen(n, 0);
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      const std::size_t cls = priority[pos];
+      STOSCHED_REQUIRE(cls < n && !seen[cls],
+                       "priority must be a permutation of 0..n-1");
+      seen[cls] = 1;
+      rank[cls] = pos;
+    }
+  }
+
+  // Per-purpose substreams (see the header comment): class j's arrivals and
+  // services each draw from their own stream derived from one draw of the
+  // caller's Rng, so the k-th class-j service requirement is the same number
+  // under every priority order.
+  const Rng root(rng());
+  std::vector<Rng> arrival_rng, service_rng;
+  arrival_rng.reserve(n);
+  service_rng.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    arrival_rng.push_back(root.stream(2 * j));
+    service_rng.push_back(root.stream(2 * j + 1));
+  }
 
   EventQueue events;
   std::vector<std::deque<double>> queue(n);  // arrival times per class
@@ -59,29 +86,36 @@ MmmResult simulate_mmm(const std::vector<ClassSpec>& classes,
       queue[best].pop_front();
       ++busy;
       busy_ta.observe(now, static_cast<double>(busy));
-      events.push(now + classes[best].service->sample(rng), kDeparture,
-                  static_cast<std::uint32_t>(best));
+      events.push(now + classes[best].service->sample(service_rng[best]),
+                  kDeparture, static_cast<std::uint32_t>(best));
     }
   };
 
   for (std::size_t j = 0; j < n; ++j)
     if (classes[j].arrival_rate > 0.0)
-      events.push(rng.exponential(classes[j].arrival_rate), kArrival,
-                  static_cast<std::uint32_t>(j));
+      events.push(arrival_rng[j].exponential(classes[j].arrival_rate),
+                  kArrival, static_cast<std::uint32_t>(j));
+
+  // Restart the time-averages at the warmup *epoch*, not at the first event
+  // at-or-after it: TimeAverage::reset keeps the current level, so the
+  // segment [warmup, next event) is credited at the pre-warmup state. An
+  // event-triggered reset would drop that segment (biased when events are
+  // sparse) and never fire at all if no event follows warmup.
+  auto warm_up = [&] {
+    warm = true;
+    for (auto& ta : count_ta) ta.reset(warmup);
+    busy_ta.reset(warmup);
+  };
 
   const double t_end = warmup + horizon;
   while (!events.empty() && events.top().time <= t_end) {
     const Event e = events.pop();
     now = e.time;
-    if (!warm && now >= warmup) {
-      warm = true;
-      for (auto& ta : count_ta) ta.reset(now);
-      busy_ta.reset(now);
-    }
+    if (!warm && now >= warmup) warm_up();
     const auto cls = static_cast<std::size_t>(e.a);
     if (e.type == kArrival) {
-      events.push(now + rng.exponential(classes[cls].arrival_rate), kArrival,
-                  e.a);
+      events.push(now + arrival_rng[cls].exponential(classes[cls].arrival_rate),
+                  kArrival, e.a);
       bump(cls, +1);
       queue[cls].push_back(now);
       start_if_possible();
@@ -93,6 +127,7 @@ MmmResult simulate_mmm(const std::vector<ClassSpec>& classes,
     }
   }
   now = t_end;
+  if (!warm) warm_up();  // no event reached the warmup epoch
 
   MmmResult out;
   out.mean_in_system.resize(n);
@@ -102,6 +137,30 @@ MmmResult simulate_mmm(const std::vector<ClassSpec>& classes,
   }
   out.utilization = busy_ta.finish(t_end) / servers;
   return out;
+}
+
+std::size_t mmm_metric_count(std::size_t num_classes) {
+  return 2 + num_classes;
+}
+
+std::vector<std::string> mmm_metric_names(std::size_t num_classes) {
+  std::vector<std::string> names{"cost_rate", "utilization"};
+  for (std::size_t j = 0; j < num_classes; ++j)
+    names.push_back("L_" + std::to_string(j));
+  return names;
+}
+
+void run_replication(const std::vector<ClassSpec>& classes, unsigned servers,
+                     const std::vector<std::size_t>& priority, double horizon,
+                     double warmup, Rng& rng, std::span<double> out) {
+  STOSCHED_REQUIRE(out.size() == mmm_metric_count(classes.size()),
+                   "metric span size mismatch");
+  const MmmResult res =
+      simulate_mmm(classes, servers, priority, horizon, warmup, rng);
+  out[0] = res.cost_rate;
+  out[1] = res.utilization;
+  for (std::size_t j = 0; j < classes.size(); ++j)
+    out[2 + j] = res.mean_in_system[j];
 }
 
 double pooled_lower_bound(const std::vector<ClassSpec>& classes,

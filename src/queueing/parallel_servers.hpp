@@ -18,6 +18,8 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "queueing/mg1.hpp"
@@ -32,10 +34,30 @@ struct MmmResult {
   double utilization = 0.0;  ///< mean busy servers / m
 };
 
+/// Run one replication. `priority` must be a permutation of 0..n-1 (highest
+/// first). Statistics cover exactly [warmup, warmup + horizon]: the
+/// time-averages restart at the warmup *epoch* (not at the first event after
+/// it), so sparse-traffic runs are unbiased.
+///
+/// Randomness is split into per-purpose substreams derived from one draw of
+/// `rng` (per-class arrival stream, per-class service stream), so two
+/// priority orders replaying the same `rng` state see the *same* workload —
+/// the synchronization behind common-random-number policy comparisons.
 MmmResult simulate_mmm(const std::vector<ClassSpec>& classes,
                        unsigned servers,
                        const std::vector<std::size_t>& priority,
                        double horizon, double warmup, Rng& rng);
+
+/// Experiment-engine adapter: metric vector layout is
+///   [cost_rate, utilization, then per class j: mean_in_system_j].
+std::size_t mmm_metric_count(std::size_t num_classes);
+std::vector<std::string> mmm_metric_names(std::size_t num_classes);
+
+/// Uniform replication entry point: one simulate_mmm run, metrics written
+/// into `out` (size mmm_metric_count(classes.size())).
+void run_replication(const std::vector<ClassSpec>& classes, unsigned servers,
+                     const std::vector<std::size_t>& priority, double horizon,
+                     double warmup, Rng& rng, std::span<double> out);
 
 /// Pooled-server lower bound on the holding-cost rate: optimal (cµ) cost of
 /// the single m-times-faster M/M/1 with the same classes, minus nothing —

@@ -15,7 +15,7 @@
 #include "batch/single_machine.hpp"
 #include "batch/subset_dp.hpp"
 #include "batch/uniform_machines.hpp"
-#include "util/parallel.hpp"
+#include "experiment/adapters.hpp"
 #include "util/rng.hpp"
 
 namespace stosched::batch {
@@ -64,14 +64,22 @@ TEST(SubsetDp, SimulationConfirmsPriorityValue) {
   const auto jobs = random_exp_jobs(5, rng);
   const double dp = exp_dp_sept(jobs, 2, ExpObjective::kFlowtime);
 
-  Batch batch;
+  // Through the experiment engine: an inline 2-machine batch scenario whose
+  // weighted flowtime IS the flowtime (unit weights).
+  experiment::BatchScenario scenario;
+  scenario.name = "sept-dp-check";
   for (const auto& j : jobs)
-    batch.push_back({1.0, exponential_dist(j.rate)});
-  const Order order = sept_order(batch);
-  const auto stat = monte_carlo(40000, 5, [&](std::size_t, Rng& r) {
-    return simulate_list_policy(batch, order, 2, r).flowtime;
-  });
-  const auto est = make_estimate(stat);
+    scenario.jobs.push_back({1.0, exponential_dist(j.rate)});
+  scenario.machines = 2;
+  const Order order = sept_order(scenario.jobs);
+  const auto res = experiment::run_batch(scenario, order,
+                                         [] {
+                                           experiment::EngineOptions o;
+                                           o.seed = 5;
+                                           o.max_replications = 40000;
+                                           return o;
+                                         }());
+  const auto est = make_estimate(res.metrics[0]);
   // List policies and DP priority policies coincide for exponential jobs
   // (memorylessness): simulated SEPT must cover the DP value.
   EXPECT_TRUE(est.covers(dp))
@@ -132,10 +140,12 @@ TEST(DiscreteExact, AgreesWithSimulation) {
   }
   const Order order = sept_order(jobs);
   const auto exact = exact_list_policy_discrete(jobs, order, 2);
-  const auto stat = monte_carlo(30000, 3, [&](std::size_t, Rng& r) {
-    return simulate_list_policy(jobs, order, 2, r).flowtime;
-  });
-  EXPECT_TRUE(make_estimate(stat).covers(exact.flowtime));
+  experiment::BatchScenario scenario{"discrete-exact-check", "", jobs, 2};
+  experiment::EngineOptions opt;
+  opt.seed = 3;
+  opt.max_replications = 30000;
+  const auto res = experiment::run_batch(scenario, order, opt);
+  EXPECT_TRUE(make_estimate(res.metrics[0]).covers(exact.flowtime));
 }
 
 TEST(TwoPoint, SeptIsNotAlwaysOptimalOnTwoMachines) {
@@ -287,15 +297,23 @@ TEST(InTree, ChainScheduledSerially) {
 }
 
 TEST(InTree, HlfNoWorseThanFifoEligible) {
+  // Through the experiment engine: a CRN-paired comparison on an inline
+  // tree scenario (both arms replay the same replication substreams, like
+  // the old same-seed monte_carlo pair did).
   Rng master(73);
-  const InTree t = random_in_tree(60, master);
-  const auto eval = [&](TreePolicy pol, std::uint64_t seed) {
-    return monte_carlo(4000, seed, [&](std::size_t, Rng& r) {
-      return simulate_tree_makespan(t, 3, 1.0, pol, r);
-    });
-  };
-  const auto hlf = eval(TreePolicy::kHighestLevelFirst, 1);
-  const auto fifo = eval(TreePolicy::kFifoEligible, 1);
+  experiment::TreeScenario scenario;
+  scenario.name = "hlf-vs-fifo";
+  scenario.tree = random_in_tree(60, master);
+  scenario.machines = 3;
+  scenario.rate = 1.0;
+  experiment::EngineOptions opt;
+  opt.seed = 1;
+  opt.max_replications = 4000;
+  const auto cmp = experiment::compare_tree_policies(
+      scenario, {TreePolicy::kHighestLevelFirst, TreePolicy::kFifoEligible},
+      opt, experiment::Pairing::kCommonRandomNumbers);
+  const auto& hlf = cmp.arm[0][0];
+  const auto& fifo = cmp.arm[1][0];
   EXPECT_LE(hlf.mean(), fifo.mean() + 2.0 * (hlf.sem() + fifo.sem()) + 0.05);
 }
 

@@ -11,7 +11,7 @@
 
 #include "batch/job.hpp"
 #include "batch/single_machine.hpp"
-#include "util/parallel.hpp"
+#include "experiment/adapters.hpp"
 #include "util/rng.hpp"
 
 namespace stosched::batch {
@@ -62,10 +62,14 @@ TEST(Simulation, UnbiasedForExactValue) {
   const Batch jobs = random_batch(5, rng);
   const Order order = wsept_order(jobs);
   const double exact = exact_weighted_flowtime(jobs, order);
-  const auto stat = monte_carlo(20000, 11, [&](std::size_t, Rng& r) {
-    return simulate_weighted_flowtime(jobs, order, r);
-  });
-  const auto est = make_estimate(stat);
+  // Through the experiment engine (machines == 1 keeps the original
+  // single-machine draw sequence, so this reproduces the legacy values).
+  const experiment::BatchScenario scenario{"wsept-unbiased", "", jobs, 1};
+  experiment::EngineOptions opt;
+  opt.seed = 11;
+  opt.max_replications = 20000;
+  const auto res = experiment::run_batch(scenario, order, opt);
+  const auto est = make_estimate(res.metrics[0]);
   EXPECT_TRUE(est.covers(exact))
       << "exact " << exact << " vs " << est.value << " ± " << est.half_width;
 }

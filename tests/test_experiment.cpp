@@ -260,6 +260,159 @@ TEST(Adapters, SimOptionsValidationRejectsBadRuns) {
                std::invalid_argument);
 }
 
+TEST(Scenarios, NewFamiliesRegistered) {
+  EXPECT_FALSE(network_scenario_names().empty());
+  EXPECT_FALSE(mmm_scenario_names().empty());
+  EXPECT_FALSE(fluid_scenario_names().empty());
+  EXPECT_FALSE(tree_scenario_names().empty());
+  EXPECT_THROW(network_scenario("no-such"), std::invalid_argument);
+  EXPECT_NO_THROW(batch_scenario("turnpike"));
+  EXPECT_NO_THROW(batch_scenario("t5-twopoint"));
+  EXPECT_NO_THROW(tree_scenario("intree"));
+  EXPECT_EQ(batch_scenario("turnpike").machines, 3u);
+  EXPECT_EQ(batch_scenario("turnpike").jobs.size(), 100u);
+  // Generators are deterministic: same n, same batch.
+  const auto a = turnpike_scenario(50);
+  const auto b = turnpike_scenario(50);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].weight, b.jobs[i].weight);
+    EXPECT_DOUBLE_EQ(a.jobs[i].processing->mean(), b.jobs[i].processing->mean());
+  }
+}
+
+TEST(Scenarios, LuKumarIntensitiesSubcritical) {
+  // station_intensities through the registered scenario: both stations are
+  // nominally stable, the classic precondition of the instability result.
+  const auto& s = network_scenario("lu-kumar");
+  const auto rho = s.intensities();
+  ASSERT_EQ(rho.size(), 2u);
+  EXPECT_NEAR(rho[0], 0.01 + 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(rho[1], 2.0 / 3.0 + 0.01, 1e-12);
+  EXPECT_LT(rho[0], 1.0);
+  EXPECT_LT(rho[1], 1.0);
+}
+
+TEST(Scenarios, MmmSweepHelpersPreserveStructure) {
+  const auto base = mmm_scenario("parallel-pooling");
+  EXPECT_NEAR(base.load(), 0.85, 1e-12);
+  const auto heavy = mmm_scale_to_load(base, 0.95);
+  EXPECT_NEAR(heavy.load(), 0.95, 1e-12);
+  // Server-count sweep keeps the per-server load invariant.
+  const auto pooled = with_servers(base, 4);
+  EXPECT_EQ(pooled.servers, 4u);
+  EXPECT_NEAR(pooled.load(), base.load(), 1e-12);
+  EXPECT_NEAR(queueing::traffic_intensity(pooled.classes),
+              2.0 * queueing::traffic_intensity(base.classes), 1e-12);
+}
+
+TEST(Adapters, MmmReplicationMatchesDirectSimulate) {
+  MmmScenario s = mmm_scenario("parallel-pooling");
+  s.horizon = 2000.0;
+  s.warmup = 200.0;
+  const MmmPolicy arm{"c-mu", queueing::cmu_order(s.classes)};
+  std::vector<double> metrics(metric_count(s), 0.0);
+  Rng r1(42);
+  run_replication(s, arm, r1, std::span<double>(metrics));
+  Rng r2(42);
+  const auto direct = queueing::simulate_mmm(s.classes, s.servers,
+                                             arm.priority, s.horizon,
+                                             s.warmup, r2);
+  EXPECT_DOUBLE_EQ(metrics[0], direct.cost_rate);
+  EXPECT_DOUBLE_EQ(metrics[1], direct.utilization);
+  for (std::size_t j = 0; j < s.classes.size(); ++j)
+    EXPECT_DOUBLE_EQ(metrics[2 + j], direct.mean_in_system[j]);
+  EXPECT_EQ(queueing::mmm_metric_names(2).size(),
+            queueing::mmm_metric_count(2));
+}
+
+TEST(Adapters, NetworkGrowthSignSeparatesStableFromBad) {
+  // lu_kumar_network through the engine adapters: the destabilizing
+  // priority pair shows a clearly positive mean growth rate, FCFS and the
+  // safe pair do not — the sign structure bench F6 reports.
+  NetworkScenario s = network_scenario("lu-kumar");
+  s.horizon = 8000.0;
+  s.samples = 40;
+  const auto arms = lu_kumar_policies();
+  ASSERT_EQ(arms.size(), 3u);
+  EngineOptions opt;
+  opt.seed = 31;
+  opt.max_replications = 4;
+  const auto bad = run_network(s, arms[0], opt);
+  const auto fcfs = run_network(s, arms[1], opt);
+  const auto safe = run_network(s, arms[2], opt);
+  EXPECT_GT(bad.metrics[2].mean(), 0.05);
+  EXPECT_LT(std::abs(fcfs.metrics[2].mean()), 0.002);
+  EXPECT_LT(std::abs(safe.metrics[2].mean()), 0.002);
+  EXPECT_GT(bad.metrics[0].mean(), 20.0 * fcfs.metrics[0].mean());
+}
+
+TEST(Engine, NetworkCrnCutsDifferenceVarianceAtLeastTwofold) {
+  // The satellite acceptance test of the per-class substream refactor:
+  // comparing two *stable* priority assignments on the Lu–Kumar workload
+  // (they differ only in station A's order), common random numbers must cut
+  // the variance of the mean-backlog difference by >= 2x versus independent
+  // streams at the same replication count. (Measured factor is ~3x; the
+  // per-class substreams replay the identical workload under any priority
+  // order, so only the scheduling difference remains.)
+  NetworkScenario s = network_scenario("lu-kumar");
+  s.horizon = 4000.0;
+  s.samples = 40;
+  const std::vector<NetworkPolicy> pair{
+      {"safe", {{0, 3}, {2, 1}}},
+      {"swap-A", {{3, 0}, {2, 1}}}};
+  EngineOptions opt;
+  opt.seed = 404;
+  opt.max_replications = 48;
+  const auto crn =
+      compare_network_policies(s, pair, opt, Pairing::kCommonRandomNumbers);
+  const auto ind =
+      compare_network_policies(s, pair, opt, Pairing::kIndependentStreams);
+  const double var_crn = crn.diff[0][0].variance();
+  const double var_ind = ind.diff[0][0].variance();
+  ASSERT_GT(var_ind, 0.0);
+  EXPECT_LE(2.0 * var_crn, var_ind)
+      << "CRN variance " << var_crn << " vs independent " << var_ind;
+  EXPECT_NEAR(crn.diff[0][0].mean(), ind.diff[0][0].mean(),
+              4.0 * (crn.diff[0][0].sem() + ind.diff[0][0].sem()));
+}
+
+TEST(Adapters, FluidReplicationTracksFluidLimit) {
+  FluidScenario s = fluid_scenario("f7-fluid");
+  s.scale = 100.0;  // cheaper than the bench's 400 and still tight
+  const auto priority = queueing::fluid_cmu_priority(s.classes);
+  EngineOptions opt;
+  opt.seed = 12;
+  opt.max_replications = 24;
+  const auto res = run_fluid(s, priority, opt);
+  ASSERT_EQ(res.metrics.size(), metric_count(s));
+  const auto fluid = queueing::fluid_drain(s.classes, s.initial, priority);
+  // Cost integral close to the fluid prediction; path point mid-drain too.
+  EXPECT_NEAR(res.metrics[0].mean(), fluid.cost_integral,
+              0.15 * fluid.cost_integral);
+  const auto mid = fluid.at(0.5 * fluid.drain_time);
+  const std::size_t nc = s.classes.size();
+  EXPECT_NEAR(res.metrics[1 + 4 * nc + 1].mean(), mid[1], 0.15 * (1.0 + mid[1]));
+  EXPECT_EQ(metric_names(s).size(), metric_count(s));
+}
+
+TEST(Adapters, TreeComparisonRunsUnderCrn) {
+  const TreeScenario s = intree_scenario(40);
+  EngineOptions opt;
+  opt.seed = 8;
+  opt.max_replications = 64;
+  const auto cmp = compare_tree_policies(
+      s,
+      {batch::TreePolicy::kHighestLevelFirst,
+       batch::TreePolicy::kFifoEligible},
+      opt, Pairing::kCommonRandomNumbers);
+  EXPECT_EQ(cmp.replications, 64u);
+  EXPECT_GT(cmp.arm[0][0].mean(), 0.0);
+  // HLF is never worse in expectation (allow CRN-tight noise).
+  EXPECT_LE(cmp.arm[0][0].mean(),
+            cmp.arm[1][0].mean() + 2.0 * cmp.diff[0][0].sem() + 0.05);
+}
+
 TEST(Adapters, RestlessAndBatchReplicationsRun) {
   const auto& f3 = restless_scenario("f3-decay");
   const restless::PriorityTable uniform(

@@ -23,10 +23,12 @@ TEST(Integration, BatchPipelineWseptAgainstSimulatedAlternatives) {
   const double exact_rnd = batch::exact_weighted_flowtime(jobs, rnd);
   EXPECT_LE(exact_wsept, exact_rnd + 1e-12);
 
-  const auto sim = monte_carlo(4000, 2, [&](std::size_t, Rng& r) {
-    return batch::simulate_weighted_flowtime(jobs, wsept, r);
-  });
-  EXPECT_TRUE(make_estimate(sim).covers(exact_wsept));
+  const experiment::BatchScenario scenario{"wsept-pipeline", "", jobs, 1};
+  experiment::EngineOptions opt;
+  opt.seed = 2;
+  opt.max_replications = 4000;
+  const auto sim = experiment::run_batch(scenario, wsept, opt);
+  EXPECT_TRUE(make_estimate(sim.metrics[0]).covers(exact_wsept));
 }
 
 TEST(Integration, GittinsPipelineFromProjectsToSimulation) {
@@ -131,25 +133,22 @@ TEST(Integration, FluidPredictsStochasticPolicyRanking) {
       queueing::fluid_drain(classes, q0, bad).cost_integral;
   ASSERT_LT(fluid_good, fluid_bad);
 
-  // Stochastic counterpart: accumulate holding cost along sampled paths.
-  auto stochastic_cost = [&](const std::vector<std::size_t>& prio,
-                             std::uint64_t seed) {
-    const auto stat = monte_carlo(60, seed, [&](std::size_t, Rng& r) {
-      std::vector<double> times;
-      const double t_end = 80.0;
-      for (int i = 1; i <= 80; ++i) times.push_back(t_end * i / 80.0);
-      const auto paths = queueing::simulate_backlog_path(
-          classes, {30, 30}, prio, times, r);
-      double cost = 0.0;
-      for (std::size_t i = 0; i < times.size(); ++i)
-        cost += (classes[0].cost * paths[i][0] +
-                 classes[1].cost * paths[i][1]) *
-                (t_end / 80.0);
-      return cost;
-    });
-    return stat.mean();
-  };
-  EXPECT_LT(stochastic_cost(good, 11), stochastic_cost(bad, 11));
+  // Stochastic counterpart through the experiment engine: a CRN-paired
+  // fluid-scenario comparison (scale 1, absolute horizon) accumulating
+  // holding cost along the sampled paths.
+  experiment::FluidScenario scenario;
+  scenario.name = "fluid-ranking";
+  scenario.classes = classes;
+  scenario.initial = q0;
+  scenario.scale = 1.0;
+  scenario.t_end = 80.0;
+  scenario.cost_samples = 80;
+  experiment::EngineOptions opt;
+  opt.seed = 11;
+  opt.max_replications = 60;
+  const auto cmp = experiment::compare_fluid_policies(
+      scenario, {good, bad}, opt, experiment::Pairing::kCommonRandomNumbers);
+  EXPECT_LT(cmp.arm[0][0].mean(), cmp.arm[1][0].mean());
 }
 
 TEST(Integration, UmbrellaHeaderExposesEverything) {

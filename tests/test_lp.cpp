@@ -96,7 +96,9 @@ TEST(Simplex, ReducedCostsVanishOnBasicVariables) {
   const auto s = solve(p);
   ASSERT_TRUE(s.optimal());
   for (std::size_t j = 0; j < 2; ++j)
-    if (s.x[j] > 1e-9) EXPECT_NEAR(s.reduced_costs[j], 0.0, 1e-8);
+    if (s.x[j] > 1e-9) {
+      EXPECT_NEAR(s.reduced_costs[j], 0.0, 1e-8);
+    }
 }
 
 TEST(Simplex, DegenerateProblemTerminates) {

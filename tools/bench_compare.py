@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Compare two STOSCHED_BENCH_JSON files (bench perf/result trajectories).
+
+Each bench binary mirrors its table to JSON when STOSCHED_BENCH_JSON=<path>
+is set: title, columns, per-row cells (numbers where the cell is a metric),
+verdicts and wall-clock seconds. This tool diffs two such files — typically
+the same bench at two commits — and reports:
+
+  * verdict changes (PASS -> FAIL is a regression: exit code 1);
+  * wall-clock drift beyond a threshold (reported, not fatal by default;
+    --fail-on-slowdown makes it fatal);
+  * numeric cell drift beyond a relative threshold, keyed by row label and
+    column name.
+
+Usage:
+  bench_compare.py OLD.json NEW.json [--rel-tol 0.05] [--time-tol 0.25]
+                   [--fail-on-slowdown]
+
+Stdlib only — no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    for key in ("bench", "columns", "rows", "verdicts"):
+        if key not in doc:
+            raise SystemExit(f"{path}: not a STOSCHED_BENCH_JSON file "
+                             f"(missing '{key}')")
+    return doc
+
+
+def row_label(row):
+    """First cell is the row's label column in every bench table."""
+    return str(row[0]) if row else "<empty>"
+
+
+def compare_verdicts(old, new):
+    regressions, fixes, changes = [], [], []
+    old_v = {v["what"]: v["pass"] for v in old["verdicts"]}
+    new_v = {v["what"]: v["pass"] for v in new["verdicts"]}
+    for what, passed in new_v.items():
+        if what not in old_v:
+            changes.append(f"new verdict: [{'PASS' if passed else 'FAIL'}] {what}")
+        elif old_v[what] and not passed:
+            regressions.append(f"PASS -> FAIL: {what}")
+        elif not old_v[what] and passed:
+            fixes.append(f"FAIL -> PASS: {what}")
+    for what in old_v:
+        if what not in new_v:
+            changes.append(f"verdict removed: {what}")
+    return regressions, fixes, changes
+
+
+def compare_cells(old, new, rel_tol):
+    """Yield (row label, column, old, new, rel drift) for drifted metrics."""
+    cols = new["columns"]
+    old_rows = {row_label(r): r for r in old["rows"]}
+    for row in new["rows"]:
+        label = row_label(row)
+        if label not in old_rows:
+            continue
+        before = old_rows[label]
+        for c, cell in enumerate(row):
+            if c >= len(before) or c >= len(cols):
+                break
+            a, b = before[c], cell
+            if not (isinstance(a, (int, float)) and isinstance(b, (int, float))):
+                continue
+            denom = max(abs(a), abs(b), 1e-12)
+            drift = abs(b - a) / denom
+            if drift > rel_tol:
+                yield label, cols[c], a, b, drift
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("old")
+    ap.add_argument("new")
+    ap.add_argument("--rel-tol", type=float, default=0.05,
+                    help="relative metric-drift threshold (default 0.05)")
+    ap.add_argument("--time-tol", type=float, default=0.25,
+                    help="relative wall-clock drift threshold (default 0.25)")
+    ap.add_argument("--fail-on-slowdown", action="store_true",
+                    help="exit nonzero when wall clock regresses past "
+                         "--time-tol")
+    args = ap.parse_args()
+
+    old, new = load(args.old), load(args.new)
+    if old["bench"] != new["bench"]:
+        print(f"warning: comparing different benches:\n  old: {old['bench']}"
+              f"\n  new: {new['bench']}")
+
+    failed = False
+    print(f"bench: {new['bench']}")
+
+    regressions, fixes, changes = compare_verdicts(old, new)
+    for line in regressions:
+        print(f"  VERDICT REGRESSION  {line}")
+        failed = True
+    for line in fixes:
+        print(f"  verdict fixed       {line}")
+    for line in changes:
+        print(f"  verdict changed     {line}")
+    if not (regressions or fixes or changes):
+        print(f"  verdicts: {len(new['verdicts'])} unchanged "
+              f"({sum(v['pass'] for v in new['verdicts'])} PASS)")
+
+    t_old, t_new = old.get("wall_seconds"), new.get("wall_seconds")
+    if isinstance(t_old, (int, float)) and isinstance(t_new, (int, float)) \
+            and t_old > 0:
+        drift = (t_new - t_old) / t_old
+        marker = ""
+        if drift > args.time_tol:
+            marker = "  SLOWDOWN"
+            if args.fail_on_slowdown:
+                failed = True
+        elif drift < -args.time_tol:
+            marker = "  speedup"
+        print(f"  wall: {t_old:.3f}s -> {t_new:.3f}s ({drift:+.1%}){marker}")
+
+    drifted = list(compare_cells(old, new, args.rel_tol))
+    for label, col, a, b, drift in drifted:
+        print(f"  metric drift        [{label}] {col}: {a} -> {b} "
+              f"({drift:+.1%})")
+    if not drifted:
+        print(f"  metrics: no drift beyond {args.rel_tol:.0%}")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

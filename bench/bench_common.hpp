@@ -26,6 +26,17 @@
 
 namespace stosched::bench {
 
+/// Traffic-configuration metadata mirrored into the bench JSON: which
+/// arrival-process kind drove the experiment and its burstiness (asymptotic
+/// index of dispersion; 1 = Poisson, interarrival SCV for renewal input).
+/// tools/bench_compare.py refuses to diff two files whose arrival blocks
+/// disagree — a perf/metric trajectory is only meaningful against the same
+/// traffic. The default describes every pre-arrival-process bench.
+struct ArrivalMeta {
+  std::string kind = "poisson";
+  double burstiness = 1.0;
+};
+
 /// True when STOSCHED_BENCH_SMOKE is set (and not "0"): benches should run
 /// with tight replication caps so the whole binary finishes in seconds.
 inline bool smoke() {
@@ -109,7 +120,7 @@ inline std::string json_cell(const std::string& cell) {
 }
 
 inline void write_json(const Table& table, const std::string& path,
-                       double wall_seconds) {
+                       double wall_seconds, const ArrivalMeta& arrival) {
   std::ofstream os(path);
   if (!os) {
     std::cerr << "bench: cannot write JSON to " << path << '\n';
@@ -117,6 +128,8 @@ inline void write_json(const Table& table, const std::string& path,
   }
   os << "{\n  \"bench\": \"" << json_escape(table.title()) << "\",\n"
      << "  \"wall_seconds\": " << wall_seconds << ",\n"
+     << "  \"arrival\": {\"kind\": \"" << json_escape(arrival.kind)
+     << "\", \"burstiness\": " << arrival.burstiness << "},\n"
      << "  \"passed\": " << (table.all_checks_passed() ? "true" : "false")
      << ",\n  \"columns\": [";
   for (std::size_t c = 0; c < table.header().size(); ++c)
@@ -144,16 +157,18 @@ inline void write_json(const Table& table, const std::string& path,
 
 }  // namespace detail
 
-/// Print the table, optionally mirror it to $STOSCHED_BENCH_JSON, and
-/// return the process exit code.
-inline int finish(const Table& table) {
+/// Print the table, optionally mirror it to $STOSCHED_BENCH_JSON (tagged
+/// with the bench's traffic configuration), and return the process exit
+/// code. Benches driving non-Poisson input pass an explicit ArrivalMeta so
+/// the compare tool never diffs trajectories across traffic regimes.
+inline int finish(const Table& table, const ArrivalMeta& arrival = {}) {
   table.print(std::cout);
   if (const char* path = std::getenv("STOSCHED_BENCH_JSON")) {
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       detail::bench_start)
             .count();
-    detail::write_json(table, path, wall);
+    detail::write_json(table, path, wall, arrival);
   }
   return table.all_checks_passed() ? 0 : 1;
 }

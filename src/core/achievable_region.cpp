@@ -73,7 +73,8 @@ double mg1_region_b(const std::vector<queueing::ClassSpec>& classes,
   double rho_s = 0.0;
   for (std::size_t j = 0; j < classes.size(); ++j)
     if (in_set[j])
-      rho_s += classes[j].arrival_rate * classes[j].service->mean();
+      rho_s += queueing::class_arrival_rate(classes[j]) *
+               classes[j].service->mean();
   STOSCHED_REQUIRE(rho_s < 1.0, "subset must be stable");
   return rho_s * queueing::mean_residual_work(classes) / (1.0 - rho_s);
 }
@@ -84,7 +85,8 @@ std::vector<double> mg1_region_vertex(
   const auto waits = queueing::cobham_waits(classes, priority);
   std::vector<double> x(classes.size(), 0.0);
   for (std::size_t j = 0; j < classes.size(); ++j)
-    x[j] = classes[j].arrival_rate * classes[j].service->mean() * waits[j];
+    x[j] = queueing::class_arrival_rate(classes[j]) *
+           classes[j].service->mean() * waits[j];
   return x;
 }
 

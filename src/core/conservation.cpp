@@ -16,7 +16,7 @@ ConservationAudit audit_conservation(
   audit.invariant = queueing::kleinrock_invariant(classes);
   for (std::size_t j = 0; j < classes.size(); ++j) {
     const double rho_j =
-        classes[j].arrival_rate * classes[j].service->mean();
+        class_arrival_rate(classes[j]) * classes[j].service->mean();
     audit.observed += rho_j * result.per_class[j].mean_wait;
   }
   audit.rel_error =

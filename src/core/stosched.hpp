@@ -21,8 +21,8 @@
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
-#include "util/parallel.hpp"
 
+#include "dist/arrival.hpp"
 #include "dist/distribution.hpp"
 
 #include "des/event_queue.hpp"

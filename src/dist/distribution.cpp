@@ -322,6 +322,76 @@ class DiscreteDist final : public Distribution {
   std::vector<double> values_, probs_;
 };
 
+class ScaledDist final : public Distribution {
+ public:
+  ScaledDist(DistPtr base, double factor)
+      : base_(std::move(base)), factor_(factor) {}
+  double sample(Rng& rng) const override {
+    return factor_ * base_->sample(rng);
+  }
+  double mean() const override { return factor_ * base_->mean(); }
+  double second_moment() const override {
+    return factor_ * factor_ * base_->second_moment();
+  }
+  double variance() const override {
+    return factor_ * factor_ * base_->variance();
+  }
+  HazardClass hazard_class() const override {
+    // h_scaled(t) = h(t / c) / c: a positive time rescale preserves the
+    // monotonicity class.
+    return base_->hazard_class();
+  }
+  const char* name() const noexcept override { return "scaled"; }
+
+ protected:
+  bool discrete_support_impl(std::vector<double>* values,
+                             std::vector<double>* probs) const override {
+    if (!discrete_support(*base_, values, probs)) return false;
+    if (values)
+      for (double& v : *values) v *= factor_;
+    return true;
+  }
+
+ private:
+  DistPtr base_;
+  double factor_;
+};
+
+/// Tijms' common-rate mixture of Erlang(k-1) and Erlang(k) stages — the
+/// exact two-moment fit for SCV in (1/k, 1/(k-1)). Known IFR: adjacent-
+/// shape, common-rate Erlang mixtures have log-concave densities.
+class ErlangMixDist final : public Distribution {
+ public:
+  ErlangMixDist(unsigned k, double rate, double p_short)
+      : short_(std::make_shared<ErlangDist>(k - 1, rate)),
+        long_(std::make_shared<ErlangDist>(k, rate)),
+        p_(p_short) {}
+  double sample(Rng& rng) const override {
+    // One Bernoulli then the chosen branch's stage draws; same primitive
+    // sequence pattern as HyperExpDist, deterministic across platforms.
+    return rng.bernoulli(p_) ? short_->sample(rng) : long_->sample(rng);
+  }
+  double mean() const override {
+    return p_ * short_->mean() + (1.0 - p_) * long_->mean();
+  }
+  double second_moment() const override {
+    return p_ * short_->second_moment() +
+           (1.0 - p_) * long_->second_moment();
+  }
+  double variance() const override {
+    const double m = mean();
+    return second_moment() - m * m;
+  }
+  HazardClass hazard_class() const override {
+    return HazardClass::kIncreasing;
+  }
+  const char* name() const noexcept override { return "erlangmix"; }
+
+ private:
+  std::shared_ptr<ErlangDist> short_, long_;
+  double p_;
+};
+
 }  // namespace
 
 const char* to_string(HazardClass c) noexcept {
@@ -431,6 +501,35 @@ DistPtr discrete_dist(std::vector<double> values, std::vector<double> probs) {
   STOSCHED_REQUIRE(sums_to_one(probs),
                    "discrete probabilities must sum to 1");
   return std::make_shared<DiscreteDist>(std::move(values), std::move(probs));
+}
+
+DistPtr scaled_dist(DistPtr base, double factor) {
+  STOSCHED_REQUIRE(base != nullptr, "scaled law needs a base distribution");
+  STOSCHED_REQUIRE(factor > 0.0 && std::isfinite(factor),
+                   "scale factor must be positive and finite");
+  return std::make_shared<ScaledDist>(std::move(base), factor);
+}
+
+DistPtr with_mean_scv(double mean, double scv) {
+  STOSCHED_REQUIRE(mean > 0.0 && std::isfinite(mean),
+                   "two-moment fit mean must be positive and finite");
+  STOSCHED_REQUIRE(scv >= 0.0 && std::isfinite(scv),
+                   "two-moment fit SCV must be >= 0 and finite");
+  if (scv == 0.0) return deterministic_dist(mean);
+  if (scv == 1.0) return exponential_dist(1.0 / mean);
+  if (scv > 1.0) return hyperexp2_dist(mean, scv);
+  // SCV in (0, 1): pick k with 1/k <= scv <= 1/(k-1) and mix Erlang(k-1)
+  // and Erlang(k) at a common rate (Tijms). With mixing probability
+  //   p = (k*scv - sqrt(k(1+scv) - k^2 scv)) / (1 + scv)
+  // and rate mu = (k - p) / mean, the first two moments match exactly.
+  const auto k = static_cast<unsigned>(std::ceil(1.0 / scv));
+  const double kd = static_cast<double>(k);
+  // The radicand vanishes at scv == 1/(k-1); clamp float noise at 0.
+  const double rad = std::max(0.0, kd * (1.0 + scv) - kd * kd * scv);
+  const double p = (kd * scv - std::sqrt(rad)) / (1.0 + scv);
+  if (p <= 0.0) return erlang_dist(k, kd / mean);  // scv == 1/k exactly
+  const double mu = (kd - p) / mean;
+  return std::make_shared<ErlangMixDist>(k, mu, p);
 }
 
 }  // namespace stosched

@@ -139,4 +139,18 @@ DistPtr pareto_dist(double scale, double alpha);
 /// General finite law on strictly increasing positive atoms.
 DistPtr discrete_dist(std::vector<double> values, std::vector<double> probs);
 
+/// Time-rescaled law: samples `factor * X` for X ~ base (factor > 0).
+/// Mean scales by factor, variance by factor^2, so the SCV and the hazard
+/// monotonicity class are preserved exactly — the transform behind
+/// rate-scaling a renewal arrival process without changing its shape.
+DistPtr scaled_dist(DistPtr base, double factor);
+
+/// Exact two-moment fit to a target (mean, SCV), the standard workhorse of
+/// SCV sweeps: SCV 0 -> deterministic, SCV in (0,1) -> common-rate mixture
+/// of Erlang(k-1)/Erlang(k) stages with 1/k <= SCV <= 1/(k-1) (Tijms' fit),
+/// SCV 1 -> exponential, SCV > 1 -> balanced-means 2-branch
+/// hyperexponential. The returned law reports the requested moments
+/// exactly.
+DistPtr with_mean_scv(double mean, double scv);
+
 }  // namespace stosched

@@ -97,6 +97,27 @@ std::vector<NetworkPolicy> lu_kumar_policies() {
           {"safe priority (1>4, 3>2)", {{0, 3}, {2, 1}}}};
 }
 
+std::vector<NetworkPolicy> rybko_stolyar_policies() {
+  // Station 0 serves classes {0, 3}, station 1 serves {1, 2}; the exit
+  // classes (1 and 3) form the virtual station that self-starves under the
+  // "bad" pair.
+  return {{"exit priority (3>0, 1>2)", {{3, 0}, {1, 2}}},
+          {"FCFS", {}},
+          {"entry priority (0>3, 2>1)", {{0, 3}, {2, 1}}}};
+}
+
+std::vector<NetworkPolicy> reentrant_policies(
+    const queueing::NetworkConfig& config) {
+  // Group each station's classes in buffer (= class index) order; FBFS is
+  // that order, LBFS its reverse.
+  std::vector<std::vector<std::size_t>> fbfs(config.num_stations);
+  for (std::size_t c = 0; c < config.classes.size(); ++c)
+    fbfs[config.classes[c].station].push_back(c);
+  std::vector<std::vector<std::size_t>> lbfs = fbfs;
+  for (auto& station : lbfs) std::reverse(station.begin(), station.end());
+  return {{"LBFS", std::move(lbfs)}, {"FBFS", std::move(fbfs)}, {"FCFS", {}}};
+}
+
 std::size_t metric_count(const QueueScenario& s) {
   return queueing::mg1_metric_count(s.classes.size());
 }

@@ -60,6 +60,18 @@ struct MmmPolicy {
 /// pair — the canonical bad/stable contrast on the "lu-kumar" scenario.
 std::vector<NetworkPolicy> lu_kumar_policies();
 
+/// The policy arms of the Rybko–Stolyar experiment: the destabilizing
+/// exit-class priority pair (arm 0), FCFS, and the safe entry-class pair —
+/// for the "rybko-stolyar" scenario.
+std::vector<NetworkPolicy> rybko_stolyar_policies();
+
+/// Buffer-order policy arms for a re-entrant line (single route, class
+/// index = buffer position): LBFS (last buffer first served, arm 0), FBFS
+/// (first buffer first), and FCFS. Derived generically from the config's
+/// station/class layout, so any reentrant_line_network instance works.
+std::vector<NetworkPolicy> reentrant_policies(
+    const queueing::NetworkConfig& config);
+
 /// Metric layout of each scenario family (delegates to the simulator).
 std::size_t metric_count(const QueueScenario& s);
 std::vector<std::string> metric_names(const QueueScenario& s);

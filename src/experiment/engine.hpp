@@ -22,8 +22,8 @@
 //     (options, body) because substreams are indexed, not consumed.
 //
 // The body parameter is a template, not a std::function: the hot loop
-// inlines the replication call, and `util/parallel.hpp` remains as a thin
-// type-erased shim for callers that prefer the old interface.
+// inlines the replication call. (The former `util/parallel.hpp` shim over
+// this engine is gone; run_fixed is the drop-in replacement.)
 #pragma once
 
 #include <algorithm>

@@ -136,6 +136,35 @@ Registry<QueueScenario> build_queue_registry() {
            {},
            2e5,
            2e4});
+  // Bursty (MMPP) and interarrival-SCV variants of the registered mixes:
+  // same effective rates and service laws, non-memoryless input. These are
+  // the fixed representatives of the with_burstiness / with_arrival_scv
+  // sweeps (asymptotic IDC 9 ~ strongly correlated traffic; interarrival
+  // SCV 4 ~ a high-variability renewal stream).
+  {
+    QueueScenario bursty = with_burstiness(reg.get("t9-three-class", "queue"),
+                                           9.0);
+    bursty.name = "t9-bursty";
+    bursty.description =
+        "T9 mix under symmetric on-off MMPP arrivals, IDC = 9";
+    reg.add(std::move(bursty));
+  }
+  {
+    QueueScenario scv = with_arrival_scv(reg.get("t9-three-class", "queue"),
+                                         4.0);
+    scv.name = "t9-scv4";
+    scv.description =
+        "T9 mix under renewal arrivals with interarrival SCV = 4";
+    reg.add(std::move(scv));
+  }
+  {
+    QueueScenario bursty = with_burstiness(reg.get("call-center", "queue"),
+                                           6.0);
+    bursty.name = "call-center-bursty";
+    bursty.description =
+        "contact-center mix under bursty MMPP caller arrivals, IDC = 6";
+    reg.add(std::move(bursty));
+  }
   return reg;
 }
 
@@ -217,7 +246,38 @@ Registry<NetworkScenario> build_network_registry() {
                                          2.0 / 3.0, /*bad_priority=*/false);
   lk.horizon = 4e4;
   lk.samples = 80;
+  NetworkScenario lk_bursty = with_burstiness(lk, 9.0);
   reg.add(std::move(lk));
+  // Bursty Lu–Kumar: identical topology and rates, MMPP external input
+  // (IDC 9) — the stability contrast under correlated traffic.
+  lk_bursty.name = "lu-kumar-bursty";
+  lk_bursty.description =
+      "Lu-Kumar network under bursty MMPP external arrivals, IDC = 9";
+  reg.add(std::move(lk_bursty));
+  // The Rybko–Stolyar network: two crossing routes, both stations at
+  // rho = 0.61, yet the exit-priority pair self-starves whenever
+  // 2 lambda m_out = 1.2 > 1 (virtual-station effect). The priority
+  // assignment is the policy arm (rybko_stolyar_policies()).
+  NetworkScenario rs;
+  rs.name = "rybko-stolyar";
+  rs.description =
+      "Rybko-Stolyar 4-class 2-station crossing-routes network, rho = 0.61";
+  rs.config = queueing::rybko_stolyar_network(1.0, 0.01, 0.6);
+  rs.horizon = 4e4;
+  rs.samples = 80;
+  reg.add(std::move(rs));
+  // A Dai–Wang-style re-entrant line: one route visiting the two stations
+  // alternately (0,1,0,1,0), both stations subcritical; FBFS/LBFS/FCFS are
+  // the policy arms (reentrant_policies()).
+  NetworkScenario dw;
+  dw.name = "dai-wang-reentrant";
+  dw.description =
+      "5-class 2-station re-entrant line (Dai-Wang-style), rho = (0.85, 0.9)";
+  dw.config = queueing::reentrant_line_network(
+      1.0, {0, 1, 0, 1, 0}, {0.1, 0.45, 0.1, 0.45, 0.65});
+  dw.horizon = 4e4;
+  dw.samples = 80;
+  reg.add(std::move(dw));
   return reg;
 }
 
@@ -372,15 +432,62 @@ std::vector<std::string> tree_scenario_names() {
   return tree_registry().names();
 }
 
+namespace {
+
+/// Multiply a class's effective arrival rate by `factor`, whichever way the
+/// class encodes its arrivals (plain Poisson rate or attached process).
+void scale_class_rate(queueing::ClassSpec& c, double factor) {
+  if (c.arrival)
+    c.arrival = c.arrival->scaled(factor);
+  else
+    c.arrival_rate *= factor;
+}
+
+std::string suffixed(const std::string& name, const char* tag, double value) {
+  std::ostringstream os;
+  os << name << tag << value;
+  return os.str();
+}
+
+}  // namespace
+
 QueueScenario scale_to_load(QueueScenario s, double rho) {
   STOSCHED_REQUIRE(rho > 0.0, "target load must be > 0");
   const double base = s.load();
   STOSCHED_REQUIRE(base > 0.0, "scenario has zero load");
   const double factor = rho / base;
-  for (auto& c : s.classes) c.arrival_rate *= factor;
-  std::ostringstream os;
-  os << s.name << "@rho=" << rho;
-  s.name = os.str();
+  for (auto& c : s.classes) scale_class_rate(c, factor);
+  s.name = suffixed(s.name, "@rho=", rho);
+  return s;
+}
+
+QueueScenario with_arrival_scv(QueueScenario s, double scv) {
+  for (auto& c : s.classes) {
+    const double rate = queueing::class_arrival_rate(c);
+    if (rate <= 0.0) continue;
+    c.arrival = renewal_arrivals(with_mean_scv(1.0 / rate, scv));
+  }
+  s.name = suffixed(s.name, "@ascv=", scv);
+  return s;
+}
+
+QueueScenario with_burstiness(QueueScenario s, double burstiness) {
+  for (auto& c : s.classes) {
+    const double rate = queueing::class_arrival_rate(c);
+    if (rate <= 0.0) continue;
+    c.arrival = bursty_arrivals(rate, burstiness);
+  }
+  s.name = suffixed(s.name, "@idc=", burstiness);
+  return s;
+}
+
+NetworkScenario with_burstiness(NetworkScenario s, double burstiness) {
+  for (auto& c : s.config.classes) {
+    const double rate = queueing::network_class_rate(c);
+    if (rate <= 0.0) continue;
+    c.arrival = bursty_arrivals(rate, burstiness);
+  }
+  s.name = suffixed(s.name, "@idc=", burstiness);
   return s;
 }
 
@@ -395,17 +502,15 @@ MmmScenario mmm_scale_to_load(MmmScenario s, double rho) {
   const double base = s.load();
   STOSCHED_REQUIRE(base > 0.0, "scenario has zero load");
   const double factor = rho / base;
-  for (auto& c : s.classes) c.arrival_rate *= factor;
-  std::ostringstream os;
-  os << s.name << "@rho=" << rho;
-  s.name = os.str();
+  for (auto& c : s.classes) scale_class_rate(c, factor);
+  s.name = suffixed(s.name, "@rho=", rho);
   return s;
 }
 
 MmmScenario with_servers(MmmScenario s, unsigned m) {
   STOSCHED_REQUIRE(m >= 1, "need at least one server");
   const double factor = static_cast<double>(m) / s.servers;
-  for (auto& c : s.classes) c.arrival_rate *= factor;
+  for (auto& c : s.classes) scale_class_rate(c, factor);
   s.servers = m;
   s.name += "-m" + std::to_string(m);
   return s;

@@ -26,8 +26,11 @@
 //                        machines.
 //
 // Helpers derive swept variants (scale_to_load, with_switchover,
-// with_servers, turnpike_scenario(n), intree_scenario(n), ...) without
-// mutating the registered base scenario.
+// with_servers, with_arrival_scv, with_burstiness, turnpike_scenario(n),
+// intree_scenario(n), ...) without mutating the registered base scenario.
+// Arrival-process variants (bursty MMPP, interarrival-SCV renewal) ride on
+// the same ClassSpec/NetworkClass fields, so every simulator family and
+// every CRN comparison accepts them unchanged.
 #pragma once
 
 #include <cstddef>
@@ -184,8 +187,25 @@ std::vector<std::string> fluid_scenario_names();
 std::vector<std::string> tree_scenario_names();
 
 /// Rescale every arrival rate by a common factor so the base traffic
-/// intensity becomes `rho` — the standard load-sweep transform.
+/// intensity becomes `rho` — the standard load-sweep transform. Classes
+/// with an attached arrival process are rescaled in time
+/// (ArrivalProcess::scaled), preserving their SCV/burstiness exactly.
 QueueScenario scale_to_load(QueueScenario s, double rho);
+
+/// Replace every class's arrivals with a renewal process whose
+/// interarrival law is the exact two-moment fit (dist::with_mean_scv) to
+/// the class's current effective rate and the target SCV — the
+/// interarrival-variability sweep. SCV 1 recovers Poisson exactly.
+QueueScenario with_arrival_scv(QueueScenario s, double scv);
+
+/// Replace every class's arrivals with a symmetric on-off MMPP
+/// (bursty_arrivals) at the class's current effective rate and the target
+/// asymptotic index of dispersion (> 1) — the burstiness sweep.
+QueueScenario with_burstiness(QueueScenario s, double burstiness);
+
+/// Network variant of the burstiness sweep: every externally-fed class's
+/// arrivals become a bursty MMPP at its current effective rate.
+NetworkScenario with_burstiness(NetworkScenario s, double burstiness);
 
 /// Swap in a different switchover law (setup-time sweeps).
 PollingScenario with_switchover(PollingScenario s, DistPtr law);

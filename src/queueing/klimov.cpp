@@ -88,7 +88,7 @@ std::vector<double> effective_arrival_rates(const KlimovNetwork& net) {
   for (std::size_t r = 0; r < n; ++r) {
     for (std::size_t c = 0; c < n; ++c)
       a[r * n + c] = (r == c ? 1.0 : 0.0) - net.feedback[c][r];
-    b[r] = net.classes[r].arrival_rate;
+    b[r] = class_arrival_rate(net.classes[r]);
   }
   const bool ok = mdp::solve_linear_system(a, b, n);
   STOSCHED_REQUIRE(ok, "feedback matrix has spectral radius >= 1");
@@ -170,7 +170,7 @@ mdp::FiniteMdp build_truncated_mdp(const KlimovNetwork& net, std::size_t cap) {
   std::vector<double> lambda(n), mu(n);
   double unif = 0.0;
   for (std::size_t j = 0; j < n; ++j) {
-    lambda[j] = net.classes[j].arrival_rate;
+    lambda[j] = class_arrival_rate(net.classes[j]);
     mu[j] = 1.0 / net.classes[j].service->mean();
     unif += lambda[j];
   }
@@ -249,7 +249,7 @@ double truncated_cost(const KlimovNetwork& net, std::size_t cap,
   std::vector<double> lambda(n), mu(n);
   double unif = 0.0;
   for (std::size_t j = 0; j < n; ++j) {
-    lambda[j] = net.classes[j].arrival_rate;
+    lambda[j] = class_arrival_rate(net.classes[j]);
     mu[j] = 1.0 / net.classes[j].service->mean();
     unif += lambda[j];
   }

@@ -11,9 +11,18 @@
 
 namespace stosched::queueing {
 
+double class_arrival_rate(const ClassSpec& c) {
+  return c.arrival ? c.arrival->rate() : c.arrival_rate;
+}
+
+ArrivalPtr effective_arrival(const ClassSpec& c) {
+  if (c.arrival) return c.arrival;
+  return c.arrival_rate > 0.0 ? poisson_arrivals(c.arrival_rate) : nullptr;
+}
+
 double traffic_intensity(const std::vector<ClassSpec>& classes) {
   double rho = 0.0;
-  for (const auto& c : classes) rho += c.arrival_rate * c.service->mean();
+  for (const auto& c : classes) rho += class_arrival_rate(c) * c.service->mean();
   return rho;
 }
 
@@ -42,6 +51,12 @@ struct Sim {
   std::vector<Rng> arrival_rng;
   std::vector<Rng> service_rng;
   Rng feedback_rng;
+
+  // Effective per-class arrival processes (Poisson default when the spec
+  // has no explicit process; null = no external arrivals) plus their
+  // per-replication sampler state (MMPP phase).
+  std::vector<ArrivalPtr> arrival;
+  std::vector<ArrivalState> arrival_state;
 
   EventQueue events;
   std::vector<std::deque<WaitingJob>> queue;   // per class; FCFS within class
@@ -111,6 +126,9 @@ struct Sim {
       service_rng.push_back(root.stream(2 * j + 1));
     }
     feedback_rng = root.stream(2 * n);
+    arrival.reserve(n);
+    for (const auto& spec : classes) arrival.push_back(effective_arrival(spec));
+    arrival_state.resize(n);
     // Steady state holds ~2 events per class (next arrival + departure);
     // reserving up front keeps multi-replication engine runs allocation-free
     // after the first few events.
@@ -137,9 +155,10 @@ struct Sim {
   }
 
   void schedule_arrival(std::size_t cls) {
-    if (classes[cls].arrival_rate <= 0.0) return;
-    events.push(now + arrival_rng[cls].exponential(classes[cls].arrival_rate),
-                kArrival, static_cast<std::uint32_t>(cls));
+    if (!arrival[cls]) return;
+    events.push(
+        now + arrival[cls]->next_gap(arrival_state[cls], arrival_rng[cls]),
+        kArrival, static_cast<std::uint32_t>(cls));
   }
 
   /// Pick the next class to serve; SIZE_MAX if all queues empty.
@@ -195,6 +214,15 @@ struct Sim {
 
   void on_arrival(std::size_t cls) {
     schedule_arrival(cls);
+    // Batch processes deliver several simultaneous jobs per epoch; the
+    // default batch_size() is 1 and consumes no randomness, so non-batch
+    // configurations keep the historical draw sequence exactly.
+    const std::size_t jobs =
+        arrival[cls]->batch_size(arrival_state[cls], arrival_rng[cls]);
+    for (std::size_t i = 0; i < jobs; ++i) admit(cls);
+  }
+
+  void admit(std::size_t cls) {
     set_count(cls, +1);
     WaitingJob job;
     job.class_arrival = now;

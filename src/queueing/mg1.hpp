@@ -18,8 +18,10 @@
 #include <cstddef>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "dist/arrival.hpp"
 #include "dist/distribution.hpp"
 #include "util/rng.hpp"
 
@@ -27,12 +29,36 @@ namespace stosched::queueing {
 
 /// One job class of the multiclass queue.
 struct ClassSpec {
-  double arrival_rate = 0.0;  ///< Poisson rate α_j
+  ClassSpec() = default;
+  ClassSpec(double rate, DistPtr service_law, double cost = 1.0,
+            ArrivalPtr arrival_process = nullptr)
+      : arrival_rate(rate),
+        service(std::move(service_law)),
+        holding_cost(cost),
+        arrival(std::move(arrival_process)) {}
+
+  double arrival_rate = 0.0;  ///< Poisson rate α_j (ignored if `arrival` set)
   DistPtr service;            ///< service law G_j
   double holding_cost = 1.0;  ///< c_j per unit time in system
+  /// Optional non-Poisson arrival process (renewal / MMPP / batch). When
+  /// set it *replaces* the Poisson(arrival_rate) default entirely:
+  /// `arrival_rate` is ignored and `arrival->rate()` is the class's
+  /// effective job rate. When null, arrivals are Poisson(arrival_rate) —
+  /// the historical construction path, bit-identical to the pre-arrival-
+  /// process simulators on a fixed seed.
+  ArrivalPtr arrival;
 };
 
-/// Traffic intensity ρ = Σ α_j E[S_j].
+/// Effective job arrival rate of a class: `arrival->rate()` when a process
+/// is attached, `arrival_rate` otherwise.
+double class_arrival_rate(const ClassSpec& c);
+
+/// The per-class arrival process the simulators actually run: the attached
+/// process, or Poisson(arrival_rate) when none is set (null if the class
+/// has no external arrivals at all).
+ArrivalPtr effective_arrival(const ClassSpec& c);
+
+/// Traffic intensity ρ = Σ α_j E[S_j] (α_j the effective rate).
 double traffic_intensity(const std::vector<ClassSpec>& classes);
 
 enum class Discipline {

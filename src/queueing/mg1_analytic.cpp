@@ -10,7 +10,7 @@ namespace stosched::queueing {
 double mean_residual_work(const std::vector<ClassSpec>& classes) {
   double w0 = 0.0;
   for (const auto& c : classes)
-    w0 += c.arrival_rate * c.service->second_moment() / 2.0;
+    w0 += class_arrival_rate(c) * c.service->second_moment() / 2.0;
   return w0;
 }
 
@@ -30,7 +30,7 @@ std::vector<double> cobham_waits(const std::vector<ClassSpec>& classes,
   for (std::size_t pos = 0; pos < n; ++pos) {
     const std::size_t j = priority[pos];
     const double rho_j =
-        classes[j].arrival_rate * classes[j].service->mean();
+        class_arrival_rate(classes[j]) * classes[j].service->mean();
     const double sigma_j = sigma_above + rho_j;
     STOSCHED_REQUIRE(sigma_j < 1.0,
                      "classes at this priority level must be stable");
@@ -51,12 +51,13 @@ std::vector<double> preemptive_resume_sojourns(
   for (std::size_t pos = 0; pos < n; ++pos) {
     const std::size_t j = priority[pos];
     const double rho_j =
-        classes[j].arrival_rate * classes[j].service->mean();
+        class_arrival_rate(classes[j]) * classes[j].service->mean();
     const double sigma_j = sigma_above + rho_j;
     STOSCHED_REQUIRE(sigma_j < 1.0,
                      "classes at this priority level must be stable");
     w0_above_incl +=
-        classes[j].arrival_rate * classes[j].service->second_moment() / 2.0;
+        class_arrival_rate(classes[j]) *
+        classes[j].service->second_moment() / 2.0;
     // Conway/Takagi preemptive-resume sojourn:
     //   T_j = [ E[S_j] + W0_j / (1 - sigma_j) ] / (1 - sigma_{j-}),
     // with W0_j the residual work of classes at or above j.
@@ -73,7 +74,7 @@ std::vector<double> cobham_numbers(const std::vector<ClassSpec>& classes,
   const auto waits = cobham_waits(classes, priority);
   std::vector<double> numbers(classes.size(), 0.0);
   for (std::size_t j = 0; j < classes.size(); ++j)
-    numbers[j] = classes[j].arrival_rate *
+    numbers[j] = class_arrival_rate(classes[j]) *
                  (waits[j] + classes[j].service->mean());
   return numbers;
 }

@@ -9,6 +9,12 @@
 //
 // Notation: α_j arrival rate, ρ_j = α_j E[S_j], ρ = Σ ρ_j (must be < 1),
 // W0 = Σ_j α_j E[S_j^2] / 2 (mean residual work found by a Poisson arrival).
+//
+// α_j is always the class's *effective* rate (class_arrival_rate), so specs
+// carrying an attached ArrivalProcess get consistent rates — but the
+// formulas themselves are exact only for Poisson input (PASTA); for
+// renewal/MMPP/batch arrivals they are the rate-matched Poisson
+// approximation, not ground truth.
 #pragma once
 
 #include <cstddef>

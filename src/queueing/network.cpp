@@ -44,13 +44,22 @@ void NetworkConfig::validate() const {
   }
 }
 
+double network_class_rate(const NetworkClass& c) {
+  return c.arrival ? c.arrival->rate() : c.arrival_rate;
+}
+
+ArrivalPtr effective_arrival(const NetworkClass& c) {
+  if (c.arrival) return c.arrival;
+  return c.arrival_rate > 0.0 ? poisson_arrivals(c.arrival_rate) : nullptr;
+}
+
 std::vector<double> station_intensities(const NetworkConfig& config) {
   config.validate();
   // Effective class rates along deterministic routes: accumulate from
   // external arrivals down each chain.
   std::vector<double> rate(config.classes.size(), 0.0);
   for (std::size_t c = 0; c < config.classes.size(); ++c) {
-    double lambda = config.classes[c].arrival_rate;
+    double lambda = network_class_rate(config.classes[c]);
     if (lambda <= 0.0) continue;
     std::size_t cur = c, hops = 0;
     while (cur != NetworkClass::kExit) {
@@ -94,6 +103,13 @@ NetworkTrace simulate_network(const NetworkConfig& config, double horizon,
     arrival_rng.push_back(root.stream(2 * c));
     service_rng.push_back(root.stream(2 * c + 1));
   }
+
+  // Effective per-class external arrival processes (Poisson default; null
+  // for internal classes) + per-replication state; see dist/arrival.hpp.
+  std::vector<ArrivalPtr> arrival(nc);
+  std::vector<ArrivalState> arrival_state(nc);
+  for (std::size_t c = 0; c < nc; ++c)
+    arrival[c] = effective_arrival(config.classes[c]);
 
   EventQueue events;
   // Per class FIFO (arrival times); per station FCFS order (class ids).
@@ -147,8 +163,8 @@ NetworkTrace simulate_network(const NetworkConfig& config, double horizon,
   };
 
   for (std::size_t c = 0; c < nc; ++c)
-    if (config.classes[c].arrival_rate > 0.0)
-      events.push(arrival_rng[c].exponential(config.classes[c].arrival_rate),
+    if (arrival[c])
+      events.push(arrival[c]->next_gap(arrival_state[c], arrival_rng[c]),
                   kArrival, static_cast<std::uint32_t>(c));
   for (std::size_t s = 1; s <= samples; ++s)
     events.push(horizon * static_cast<double>(s) / static_cast<double>(samples),
@@ -165,11 +181,15 @@ NetworkTrace simulate_network(const NetworkConfig& config, double horizon,
       case kArrival: {
         const auto cls = static_cast<std::size_t>(e.a);
         events.push(
-            now + arrival_rng[cls].exponential(config.classes[cls].arrival_rate),
+            now + arrival[cls]->next_gap(arrival_state[cls], arrival_rng[cls]),
             kArrival, e.a);
-        ++total_jobs;
+        // Batch processes deliver several simultaneous jobs per epoch (the
+        // default batch_size() is 1 and draws nothing).
+        const std::size_t jobs =
+            arrival[cls]->batch_size(arrival_state[cls], arrival_rng[cls]);
+        total_jobs += static_cast<long>(jobs);
         total_ta.observe(now, static_cast<double>(total_jobs));
-        enqueue_job(cls);
+        for (std::size_t i = 0; i < jobs; ++i) enqueue_job(cls);
         break;
       }
       case kServiceDone: {
@@ -247,6 +267,43 @@ NetworkConfig lu_kumar_network(double lambda, double m1, double m2, double m3,
     // The destabilizing pair: 4 over 1 at A (classes 3 > 0), 2 over 3 at B
     // (classes 1 > 2).
     cfg.station_priority = {{3, 0}, {1, 2}};
+  }
+  return cfg;
+}
+
+NetworkConfig rybko_stolyar_network(double lambda, double m_in, double m_out) {
+  STOSCHED_REQUIRE(lambda > 0.0 && m_in > 0.0 && m_out > 0.0,
+                   "Rybko-Stolyar parameters must be positive");
+  NetworkConfig cfg;
+  cfg.num_stations = 2;
+  cfg.classes = {
+      // route A: class 0 @ station 0 -> class 1 @ station 1 -> exit
+      {0, m_in, 1, lambda, nullptr},
+      {1, m_out, NetworkClass::kExit, 0.0, nullptr},
+      // route B: class 2 @ station 1 -> class 3 @ station 0 -> exit
+      {1, m_in, 3, lambda, nullptr},
+      {0, m_out, NetworkClass::kExit, 0.0, nullptr},
+  };
+  return cfg;
+}
+
+NetworkConfig reentrant_line_network(double lambda,
+                                     const std::vector<std::size_t>& stations,
+                                     const std::vector<double>& means) {
+  STOSCHED_REQUIRE(lambda > 0.0, "re-entrant line needs a positive rate");
+  STOSCHED_REQUIRE(!stations.empty() && stations.size() == means.size(),
+                   "re-entrant line needs matching, nonempty stations/means");
+  NetworkConfig cfg;
+  cfg.num_stations = 0;
+  cfg.classes.reserve(stations.size());
+  for (std::size_t i = 0; i < stations.size(); ++i) {
+    NetworkClass c;
+    c.station = stations[i];
+    c.service_mean = means[i];
+    c.next = i + 1 < stations.size() ? i + 1 : NetworkClass::kExit;
+    c.arrival_rate = i == 0 ? lambda : 0.0;
+    cfg.classes.push_back(std::move(c));
+    cfg.num_stations = std::max(cfg.num_stations, stations[i] + 1);
   }
   return cfg;
 }

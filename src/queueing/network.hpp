@@ -22,22 +22,45 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "dist/arrival.hpp"
 #include "util/rng.hpp"
 
 namespace stosched::queueing {
 
 /// One class of a multistation network.
 struct NetworkClass {
+  NetworkClass() = default;
+  NetworkClass(std::size_t serving_station, double mean, std::size_t next_cls,
+               double rate = 0.0, ArrivalPtr arrival_process = nullptr)
+      : station(serving_station),
+        service_mean(mean),
+        next(next_cls),
+        arrival_rate(rate),
+        arrival(std::move(arrival_process)) {}
+
   std::size_t station = 0;      ///< which station serves this class
   double service_mean = 1.0;    ///< exponential mean
   /// Next class on the route (kExit to leave the system).
   std::size_t next = SIZE_MAX;
   double arrival_rate = 0.0;    ///< external Poisson arrivals (0 = none)
+  /// Optional non-Poisson external arrival process (renewal / MMPP /
+  /// batch); when set it replaces the Poisson(arrival_rate) default and
+  /// `arrival->rate()` is the class's effective external rate.
+  ArrivalPtr arrival;
 
   static constexpr std::size_t kExit = SIZE_MAX;
 };
+
+/// Effective external arrival rate of a network class.
+double network_class_rate(const NetworkClass& c);
+
+/// The external arrival process the simulator actually runs for a class:
+/// the attached process, or Poisson(arrival_rate) when none is set (null
+/// for purely internal classes).
+ArrivalPtr effective_arrival(const NetworkClass& c);
 
 struct NetworkConfig {
   std::vector<NetworkClass> classes;
@@ -90,6 +113,26 @@ void run_replication(const NetworkConfig& config, double horizon,
 /// The Lu–Kumar network with the destabilizing priorities (or FCFS).
 NetworkConfig lu_kumar_network(double lambda, double m1, double m2, double m3,
                                double m4, bool bad_priority);
+
+/// The Rybko–Stolyar network: two symmetric routes crossing two stations,
+///   route A: class 0 @ station 0 -> class 1 @ station 1 -> exit,
+///   route B: class 2 @ station 1 -> class 3 @ station 0 -> exit,
+/// each fed by external rate `lambda`; first-stage means `m_in`, second-
+/// stage (exit-class) means `m_out`. Prioritizing the exit classes (1 at
+/// station 1, 3 at station 0) destabilizes the network whenever
+/// 2 lambda m_out > 1 even though both stations satisfy
+/// lambda (m_in + m_out) < 1 — the two-route cousin of Lu–Kumar. The
+/// priority assignment is the policy arm (station_priority left empty).
+NetworkConfig rybko_stolyar_network(double lambda, double m_in, double m_out);
+
+/// A single-route re-entrant line (Dai–Wang-style topology): class i is
+/// served at `stations[i]` with exponential mean `means[i]` and feeds
+/// class i+1 (the last class exits); only class 0 has external arrivals,
+/// at rate `lambda`. Requires matching nonempty shapes. The per-station
+/// priority (FBFS/LBFS/...) is the policy arm.
+NetworkConfig reentrant_line_network(double lambda,
+                                     const std::vector<std::size_t>& stations,
+                                     const std::vector<double>& means);
 
 /// Nominal per-station traffic intensities (ρ_A, ρ_B, ...) of a config.
 std::vector<double> station_intensities(const NetworkConfig& config);

@@ -57,6 +57,13 @@ MmmResult simulate_mmm(const std::vector<ClassSpec>& classes,
     service_rng.push_back(root.stream(2 * j + 1));
   }
 
+  // Effective per-class arrival processes (Poisson default) + per-
+  // replication sampler state; see dist/arrival.hpp.
+  std::vector<ArrivalPtr> arrival;
+  arrival.reserve(n);
+  for (const auto& spec : classes) arrival.push_back(effective_arrival(spec));
+  std::vector<ArrivalState> arrival_state(n);
+
   EventQueue events;
   std::vector<std::deque<double>> queue(n);  // arrival times per class
   std::vector<long> in_system(n, 0);
@@ -92,8 +99,8 @@ MmmResult simulate_mmm(const std::vector<ClassSpec>& classes,
   };
 
   for (std::size_t j = 0; j < n; ++j)
-    if (classes[j].arrival_rate > 0.0)
-      events.push(arrival_rng[j].exponential(classes[j].arrival_rate),
+    if (arrival[j])
+      events.push(arrival[j]->next_gap(arrival_state[j], arrival_rng[j]),
                   kArrival, static_cast<std::uint32_t>(j));
 
   // Restart the time-averages at the warmup *epoch*, not at the first event
@@ -114,10 +121,17 @@ MmmResult simulate_mmm(const std::vector<ClassSpec>& classes,
     if (!warm && now >= warmup) warm_up();
     const auto cls = static_cast<std::size_t>(e.a);
     if (e.type == kArrival) {
-      events.push(now + arrival_rng[cls].exponential(classes[cls].arrival_rate),
-                  kArrival, e.a);
-      bump(cls, +1);
-      queue[cls].push_back(now);
+      events.push(
+          now + arrival[cls]->next_gap(arrival_state[cls], arrival_rng[cls]),
+          kArrival, e.a);
+      // Batch processes deliver several simultaneous jobs per epoch (the
+      // default batch_size() is 1 and draws nothing).
+      const std::size_t jobs =
+          arrival[cls]->batch_size(arrival_state[cls], arrival_rng[cls]);
+      for (std::size_t i = 0; i < jobs; ++i) {
+        bump(cls, +1);
+        queue[cls].push_back(now);
+      }
       start_if_possible();
     } else {
       bump(cls, -1);
@@ -172,6 +186,10 @@ double pooled_lower_bound(const std::vector<ClassSpec>& classes,
   pooled.reserve(classes.size());
   for (const auto& c : classes) {
     ClassSpec p = c;
+    // The Cobham closed forms below are Poisson-rate formulas: collapse any
+    // attached arrival process to its effective rate.
+    p.arrival_rate = class_arrival_rate(c);
+    p.arrival = nullptr;
     p.service = exponential_dist(servers / c.service->mean());
     pooled.push_back(std::move(p));
   }
@@ -187,7 +205,7 @@ double pooled_lower_bound(const std::vector<ClassSpec>& classes,
   for (std::size_t j = 0; j < classes.size(); ++j) {
     const double lq = pooled[j].arrival_rate * waits[j];  // waiting jobs
     const double in_service =
-        classes[j].arrival_rate * classes[j].service->mean();  // original ρ_j
+        pooled[j].arrival_rate * classes[j].service->mean();  // original ρ_j
     bound += classes[j].holding_cost * (lq + in_service / servers);
   }
   return bound;

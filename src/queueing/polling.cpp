@@ -30,6 +30,11 @@ struct PollingSim {
   std::vector<Rng> service_rng;
   Rng switch_rng;
 
+  // Effective per-queue arrival processes (Poisson default; null = no
+  // arrivals) + per-replication sampler state; see dist/arrival.hpp.
+  std::vector<ArrivalPtr> arrival;
+  std::vector<ArrivalState> arrival_state;
+
   EventQueue events;
   std::vector<std::deque<double>> queue;
   std::vector<long> in_system;
@@ -58,6 +63,9 @@ struct PollingSim {
       service_rng.push_back(root.stream(2 * j + 1));
     }
     switch_rng = root.stream(2 * n);
+    arrival.reserve(n);
+    for (const auto& spec : classes) arrival.push_back(effective_arrival(spec));
+    arrival_state.resize(n);
     events.reserve(2 * n + 16);
     queue.resize(n);
     in_system.assign(n, 0);
@@ -173,8 +181,8 @@ struct PollingSim {
 
   PollingResult run() {
     for (std::size_t j = 0; j < n; ++j)
-      if (classes[j].arrival_rate > 0.0)
-        events.push(arrival_rng[j].exponential(classes[j].arrival_rate),
+      if (arrival[j])
+        events.push(arrival[j]->next_gap(arrival_state[j], arrival_rng[j]),
                     kArrival, static_cast<std::uint32_t>(j));
 
     const double t_end = opt.warmup + opt.horizon;
@@ -189,11 +197,18 @@ struct PollingSim {
       }
       const auto q = static_cast<std::size_t>(e.a);
       switch (e.type) {
-        case kArrival:
-          events.push(now + arrival_rng[q].exponential(classes[q].arrival_rate),
-                      kArrival, e.a);
-          bump(q, +1);
-          queue[q].push_back(now);
+        case kArrival: {
+          events.push(
+              now + arrival[q]->next_gap(arrival_state[q], arrival_rng[q]),
+              kArrival, e.a);
+          // Batch processes deliver several simultaneous jobs per epoch
+          // (the default batch_size() is 1 and draws nothing).
+          const std::size_t jobs =
+              arrival[q]->batch_size(arrival_state[q], arrival_rng[q]);
+          for (std::size_t i = 0; i < jobs; ++i) {
+            bump(q, +1);
+            queue[q].push_back(now);
+          }
           if (state == ServerState::kIdle) {
             // The idle server reacts as if re-polling its current position.
             if (q == at &&
@@ -206,6 +221,7 @@ struct PollingSim {
             }
           }
           break;
+        }
         case kServiceDone:
           bump(q, -1);
           decide();

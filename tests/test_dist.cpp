@@ -100,6 +100,78 @@ TEST(Distribution, ScvMatchesDefinition) {
   EXPECT_NEAR(deterministic_dist(5.0)->scv(), 0.0, 1e-12);
 }
 
+TEST(Distribution, ClosedFormScvForEveryFactoryLaw) {
+  // scv() against hand-derived closed forms for all 11 factory laws.
+  EXPECT_NEAR(exponential_dist(0.7)->scv(), 1.0, 1e-12);
+  EXPECT_NEAR(deterministic_dist(2.5)->scv(), 0.0, 1e-12);
+  // uniform(1,3): var (hi-lo)^2/12 = 1/3, mean 2.
+  EXPECT_NEAR(uniform_dist(1.0, 3.0)->scv(), (1.0 / 3.0) / 4.0, 1e-12);
+  EXPECT_NEAR(erlang_dist(3, 1.5)->scv(), 1.0 / 3.0, 1e-12);
+  // hyperexp: mean .3/2 + .7/.5 = 1.55, m2 = 2(.3/4 + .7/.25) = 5.75.
+  EXPECT_NEAR(hyperexp_dist({0.3, 0.7}, {2.0, 0.5})->scv(),
+              (5.75 - 1.55 * 1.55) / (1.55 * 1.55), 1e-9);
+  EXPECT_NEAR(hyperexp2_dist(3.0, 2.5)->scv(), 2.5, 1e-9);
+  // two-point(1, .6, 5): mean 2.6, m2 10.6.
+  EXPECT_NEAR(two_point_dist(1.0, 0.6, 5.0)->scv(),
+              (10.6 - 6.76) / 6.76, 1e-9);
+  // Weibull(k=2): scv = Gamma(2)/Gamma(1.5)^2 - 1.
+  const double g15 = std::tgamma(1.5);
+  EXPECT_NEAR(weibull_dist(2.0, 1.7)->scv(), 1.0 / (g15 * g15) - 1.0, 1e-9);
+  // lognormal: scv = exp(sigma^2) - 1, independent of mu.
+  EXPECT_NEAR(lognormal_dist(0.4, 0.5)->scv(), std::exp(0.25) - 1.0, 1e-9);
+  // Pareto(alpha=3): mean 1.5 x_m, m2 = 3 x_m^2 => scv = 1/3.
+  EXPECT_NEAR(pareto_dist(2.0, 3.0)->scv(), 1.0 / 3.0, 1e-9);
+  // discrete {1,3} @ {.5,.5}: mean 2, m2 5, var 1.
+  EXPECT_NEAR(discrete_dist({1.0, 3.0}, {0.5, 0.5})->scv(), 0.25, 1e-12);
+}
+
+TEST(Distribution, WithMeanScvHitsRequestedMomentsExactly) {
+  // The two-moment fitter spans deterministic, Erlang-mixture, exponential
+  // and hyperexponential regimes; mean and SCV must come back exactly.
+  for (const double scv :
+       {0.0, 0.15, 0.2, 1.0 / 3.0, 0.5, 0.8, 1.0, 1.7, 4.0, 16.0}) {
+    const auto d = with_mean_scv(2.5, scv);
+    EXPECT_NEAR(d->mean(), 2.5, 1e-9) << "scv " << scv;
+    EXPECT_NEAR(d->scv(), scv, 1e-9) << "scv " << scv;
+  }
+}
+
+TEST(Distribution, WithMeanScvSampledMomentsMatchTargets) {
+  // The Erlang-mixture regime actually samples what it promises.
+  const auto d = with_mean_scv(1.8, 0.4);
+  EXPECT_EQ(d->hazard_class(), HazardClass::kIncreasing);
+  Rng rng(321);
+  RunningStat s;
+  for (int i = 0; i < 400000; ++i) s.push(d->sample(rng));
+  EXPECT_NEAR(s.mean(), 1.8, 0.01);
+  EXPECT_NEAR(s.variance(), 0.4 * 1.8 * 1.8, 0.02);
+}
+
+TEST(Distribution, WithMeanScvRejectsBadArguments) {
+  EXPECT_THROW(with_mean_scv(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(with_mean_scv(1.0, -0.1), std::invalid_argument);
+}
+
+TEST(Distribution, ScaledDistScalesTimeExactly) {
+  const auto base = erlang_dist(3, 1.5);
+  const auto d = scaled_dist(base, 2.0);
+  EXPECT_NEAR(d->mean(), 2.0 * base->mean(), 1e-12);
+  EXPECT_NEAR(d->variance(), 4.0 * base->variance(), 1e-12);
+  EXPECT_NEAR(d->scv(), base->scv(), 1e-12);
+  EXPECT_EQ(d->hazard_class(), base->hazard_class());
+  // Samples are the base draw times the factor (same substream).
+  Rng a(9), b(9);
+  for (int i = 0; i < 100; ++i)
+    ASSERT_DOUBLE_EQ(d->sample(a), 2.0 * base->sample(b));
+  // Finite supports scale too.
+  std::vector<double> v, p;
+  ASSERT_TRUE(discrete_support(*scaled_dist(two_point_dist(1.0, 0.5, 2.0), 3.0),
+                               &v, &p));
+  EXPECT_EQ(v, (std::vector<double>{3.0, 6.0}));
+  EXPECT_THROW(scaled_dist(nullptr, 1.0), std::invalid_argument);
+  EXPECT_THROW(scaled_dist(base, 0.0), std::invalid_argument);
+}
+
 TEST(Distribution, Hyperexp2HitsRequestedMoments) {
   const auto d = hyperexp2_dist(3.0, 2.5);
   EXPECT_NEAR(d->mean(), 3.0, 1e-9);

@@ -10,7 +10,6 @@
 #include "experiment/engine.hpp"
 #include "experiment/scenario.hpp"
 #include "queueing/mg1_analytic.hpp"
-#include "util/parallel.hpp"
 
 using namespace stosched;
 using namespace stosched::experiment;
@@ -49,35 +48,13 @@ TEST(Engine, FixedRunDeterministicAndCounted) {
   EXPECT_DOUBLE_EQ(a.metrics[0].variance(), b.metrics[0].variance());
 }
 
-TEST(Engine, BitMatchesMonteCarloShim) {
-  // The legacy monte_carlo interface is a shim over the engine; both views
-  // of the same experiment must agree bit-for-bit.
-  auto legacy_body = [](std::size_t, Rng& rng) { return rng.exponential(1.0); };
-  const auto shim = monte_carlo(1000, 99, legacy_body);
+TEST(Engine, FixedRunCountsAreExact) {
+  // The former monte_carlo shim is gone; run_fixed is the only fixed-length
+  // entry point. Pin its count/min/max bookkeeping on a known body.
   const auto engine = run_fixed(1000, 99, 1, exp_body);
-  EXPECT_EQ(shim.count(), engine.metrics[0].count());
-  EXPECT_DOUBLE_EQ(shim.mean(), engine.metrics[0].mean());
-  EXPECT_DOUBLE_EQ(shim.variance(), engine.metrics[0].variance());
-  EXPECT_DOUBLE_EQ(shim.min(), engine.metrics[0].min());
-  EXPECT_DOUBLE_EQ(shim.max(), engine.metrics[0].max());
-}
-
-TEST(Engine, VectorShimMatchesEngine) {
-  auto legacy = monte_carlo_vec(2000, 5, 2,
-                                [](std::size_t, Rng& rng,
-                                   std::vector<double>& out) {
-                                  out[0] = rng.uniform();
-                                  out[1] = 2.0 * out[0];
-                                });
-  const auto engine =
-      run_fixed(2000, 5, 2, [](std::size_t, Rng& rng, std::span<double> out) {
-        out[0] = rng.uniform();
-        out[1] = 2.0 * out[0];
-      });
-  for (std::size_t d = 0; d < 2; ++d) {
-    EXPECT_DOUBLE_EQ(legacy[d].mean(), engine.metrics[d].mean());
-    EXPECT_DOUBLE_EQ(legacy[d].variance(), engine.metrics[d].variance());
-  }
+  EXPECT_EQ(engine.metrics[0].count(), 1000u);
+  EXPECT_GT(engine.metrics[0].min(), 0.0);
+  EXPECT_GT(engine.metrics[0].max(), engine.metrics[0].mean());
 }
 
 TEST(Engine, SequentialStoppingHitsRequestedPrecision) {
@@ -411,6 +388,146 @@ TEST(Adapters, TreeComparisonRunsUnderCrn) {
   // HLF is never worse in expectation (allow CRN-tight noise).
   EXPECT_LE(cmp.arm[0][0].mean(),
             cmp.arm[1][0].mean() + 2.0 * cmp.diff[0][0].sem() + 0.05);
+}
+
+TEST(Scenarios, ArrivalFamiliesRegistered) {
+  // The bursty/SCV variants carry the same effective rates (and hence the
+  // same nominal load) as their Poisson bases — only the arrival law
+  // changes.
+  const auto& t9 = queue_scenario("t9-three-class");
+  const auto& bursty = queue_scenario("t9-bursty");
+  const auto& scv4 = queue_scenario("t9-scv4");
+  EXPECT_NEAR(bursty.load(), t9.load(), 1e-9);
+  EXPECT_NEAR(scv4.load(), t9.load(), 1e-9);
+  for (const auto& c : bursty.classes) {
+    ASSERT_NE(c.arrival, nullptr);
+    EXPECT_STREQ(c.arrival->kind(), "mmpp");
+    EXPECT_NEAR(c.arrival->burstiness(), 9.0, 1e-9);
+  }
+  for (const auto& c : scv4.classes) {
+    ASSERT_NE(c.arrival, nullptr);
+    EXPECT_STREQ(c.arrival->kind(), "renewal");
+    EXPECT_NEAR(c.arrival->burstiness(), 4.0, 1e-9);
+  }
+  EXPECT_NO_THROW(queue_scenario("call-center-bursty"));
+  EXPECT_NO_THROW(network_scenario("lu-kumar-bursty"));
+  EXPECT_NO_THROW(network_scenario("rybko-stolyar"));
+  EXPECT_NO_THROW(network_scenario("dai-wang-reentrant"));
+}
+
+TEST(Scenarios, ArrivalSweepsComposeWithLoadScaling) {
+  // scale_to_load rescales attached arrival processes in time, so the
+  // target load is hit exactly and burstiness/SCV are preserved.
+  const auto scaled = scale_to_load(queue_scenario("t9-bursty"), 0.95);
+  EXPECT_NEAR(scaled.load(), 0.95, 1e-9);
+  for (const auto& c : scaled.classes)
+    EXPECT_NEAR(c.arrival->burstiness(), 9.0, 1e-9);
+  const auto swept = with_arrival_scv(queue_scenario("heavy-tail"), 2.5);
+  EXPECT_NEAR(swept.load(), queue_scenario("heavy-tail").load(), 1e-9);
+  for (const auto& c : swept.classes)
+    EXPECT_NEAR(c.arrival->burstiness(), 2.5, 1e-9);
+}
+
+TEST(Scenarios, RybkoStolyarIntensitiesSubcritical) {
+  const auto& rs = network_scenario("rybko-stolyar");
+  const auto rho = rs.intensities();
+  ASSERT_EQ(rho.size(), 2u);
+  EXPECT_NEAR(rho[0], 0.61, 1e-12);
+  EXPECT_NEAR(rho[1], 0.61, 1e-12);
+  const auto& dw = network_scenario("dai-wang-reentrant");
+  const auto dw_rho = dw.intensities();
+  ASSERT_EQ(dw_rho.size(), 2u);
+  EXPECT_NEAR(dw_rho[0], 0.85, 1e-12);
+  EXPECT_NEAR(dw_rho[1], 0.90, 1e-12);
+}
+
+TEST(Adapters, RybkoStolyarExitPrioritySelfStarves) {
+  // Both stations sit at rho = 0.61, yet prioritizing the exit classes
+  // diverges (virtual-station load 1.2 > 1) while FCFS and the entry
+  // priority stay flat — the crossing-routes cousin of Lu–Kumar.
+  NetworkScenario s = network_scenario("rybko-stolyar");
+  s.horizon = 8000.0;
+  s.samples = 40;
+  const auto arms = rybko_stolyar_policies();
+  ASSERT_EQ(arms.size(), 3u);
+  EngineOptions opt;
+  opt.seed = 33;
+  opt.max_replications = 4;
+  const auto bad = run_network(s, arms[0], opt);
+  const auto fcfs = run_network(s, arms[1], opt);
+  const auto safe = run_network(s, arms[2], opt);
+  EXPECT_GT(bad.metrics[2].mean(), 0.02);
+  EXPECT_LT(std::abs(fcfs.metrics[2].mean()), 0.005);
+  EXPECT_LT(std::abs(safe.metrics[2].mean()), 0.005);
+  EXPECT_GT(bad.metrics[0].mean(), 5.0 * fcfs.metrics[0].mean());
+}
+
+TEST(Adapters, ReentrantLinePoliciesRunUnderCrn) {
+  // The Dai–Wang-style re-entrant line through the engine: LBFS / FBFS /
+  // FCFS all run on the shared workload, and the subcritical line stays
+  // stable under FCFS (no systematic growth).
+  NetworkScenario s = network_scenario("dai-wang-reentrant");
+  s.horizon = 4000.0;
+  s.samples = 40;
+  const auto arms = reentrant_policies(s.config);
+  ASSERT_EQ(arms.size(), 3u);
+  EXPECT_EQ(arms[0].name, "LBFS");
+  // Buffer order at station 0 is {0, 2, 4} (FBFS) and reversed for LBFS.
+  EXPECT_EQ(arms[1].station_priority[0], (std::vector<std::size_t>{0, 2, 4}));
+  EXPECT_EQ(arms[0].station_priority[0], (std::vector<std::size_t>{4, 2, 0}));
+  EngineOptions opt;
+  opt.seed = 71;
+  opt.max_replications = 8;
+  const auto cmp = compare_network_policies(s, arms, opt,
+                                            Pairing::kCommonRandomNumbers);
+  EXPECT_EQ(cmp.replications, 8u);
+  for (std::size_t k = 0; k < arms.size(); ++k)
+    EXPECT_GT(cmp.arm[k][0].mean(), 0.0);
+}
+
+TEST(Engine, BurstyScenarioSequentialStoppingConverges) {
+  // Sequential-precision stopping must work for non-Poisson input too: a
+  // short bursty T9 run tracked on the cost rate converges and hits the
+  // requested precision.
+  QueueScenario s = queue_scenario("t9-bursty");
+  s.horizon = 1200.0;
+  s.warmup = 120.0;
+  EngineOptions opt;
+  opt.seed = 17;
+  opt.rel_precision = 0.15;
+  opt.min_replications = 32;
+  opt.batch = 64;
+  opt.max_replications = 1 << 14;
+  opt.tracked = {0};
+  const auto res = run_queue(s, fcfs_arm(), opt);
+  ASSERT_TRUE(res.converged);
+  const double hw = res.metrics[0].ci_halfwidth(opt.alpha);
+  EXPECT_LE(hw, opt.rel_precision * std::abs(res.metrics[0].mean()) + 1e-12);
+}
+
+TEST(Adapters, NewQueueScenariosSmokeThroughReplication) {
+  // Every new arrival-process scenario is runnable through the uniform
+  // run_replication adapter (one cheap replication each).
+  for (const char* name : {"t9-bursty", "t9-scv4", "call-center-bursty"}) {
+    QueueScenario s = queue_scenario(name);
+    s.horizon = 400.0;
+    s.warmup = 40.0;
+    std::vector<double> metrics(metric_count(s), 0.0);
+    Rng rng(5);
+    run_replication(s, fcfs_arm(), rng, std::span<double>(metrics));
+    EXPECT_GT(metrics[1], 0.0) << name;  // utilization
+  }
+  for (const char* name :
+       {"lu-kumar-bursty", "rybko-stolyar", "dai-wang-reentrant"}) {
+    NetworkScenario s = network_scenario(name);
+    s.horizon = 500.0;
+    s.samples = 10;
+    std::vector<double> metrics(metric_count(s), 0.0);
+    Rng rng(6);
+    run_replication(s, NetworkPolicy{"FCFS", {}}, rng,
+                    std::span<double>(metrics));
+    EXPECT_GT(metrics[0], 0.0) << name;  // mean_total
+  }
 }
 
 TEST(Adapters, RestlessAndBatchReplicationsRun) {

@@ -1,14 +1,15 @@
 // Tests for util/: RNG determinism and statistical sanity, streaming
 // statistics (Welford merge exactness, time averages, batch means), the
-// Monte-Carlo driver's reproducibility, and table formatting.
+// replication driver's reproducibility, and table formatting.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <span>
 #include <sstream>
 #include <vector>
 
+#include "experiment/engine.hpp"
 #include "util/check.hpp"
-#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -254,38 +255,47 @@ TEST(Estimate, Covers) {
   EXPECT_FALSE(e.covers(10.6));
 }
 
-TEST(MonteCarlo, DeterministicGivenSeed) {
-  auto body = [](std::size_t, Rng& rng) { return rng.exponential(1.0); };
-  const auto a = monte_carlo(1000, 99, body);
-  const auto b = monte_carlo(1000, 99, body);
-  EXPECT_DOUBLE_EQ(a.mean(), b.mean());
-  EXPECT_DOUBLE_EQ(a.variance(), b.variance());
+// The old util/parallel monte_carlo shim is gone; run_fixed is the
+// replication driver these tests now pin (same contracts: determinism in
+// seed, seed sensitivity, statistical correctness, vector metrics).
+TEST(RunFixed, DeterministicGivenSeed) {
+  auto body = [](std::size_t, Rng& rng, std::span<double> out) {
+    out[0] = rng.exponential(1.0);
+  };
+  const auto a = experiment::run_fixed(1000, 99, 1, body);
+  const auto b = experiment::run_fixed(1000, 99, 1, body);
+  EXPECT_DOUBLE_EQ(a.metrics[0].mean(), b.metrics[0].mean());
+  EXPECT_DOUBLE_EQ(a.metrics[0].variance(), b.metrics[0].variance());
 }
 
-TEST(MonteCarlo, SeedChangesResult) {
-  auto body = [](std::size_t, Rng& rng) { return rng.exponential(1.0); };
-  const auto a = monte_carlo(1000, 99, body);
-  const auto b = monte_carlo(1000, 100, body);
-  EXPECT_NE(a.mean(), b.mean());
+TEST(RunFixed, SeedChangesResult) {
+  auto body = [](std::size_t, Rng& rng, std::span<double> out) {
+    out[0] = rng.exponential(1.0);
+  };
+  const auto a = experiment::run_fixed(1000, 99, 1, body);
+  const auto b = experiment::run_fixed(1000, 100, 1, body);
+  EXPECT_NE(a.metrics[0].mean(), b.metrics[0].mean());
 }
 
-TEST(MonteCarlo, EstimatesExponentialMean) {
-  auto body = [](std::size_t, Rng& rng) { return rng.exponential(0.5); };
-  const auto s = monte_carlo(20000, 7, body);
-  const auto est = make_estimate(s);
+TEST(RunFixed, EstimatesExponentialMean) {
+  auto body = [](std::size_t, Rng& rng, std::span<double> out) {
+    out[0] = rng.exponential(0.5);
+  };
+  const auto res = experiment::run_fixed(20000, 7, 1, body);
+  const auto est = make_estimate(res.metrics[0]);
   EXPECT_NEAR(est.value, 2.0, 0.1);
   EXPECT_TRUE(est.covers(2.0));
 }
 
-TEST(MonteCarlo, VectorVariant) {
-  auto body = [](std::size_t, Rng& rng, std::vector<double>& out) {
+TEST(RunFixed, VectorMetrics) {
+  auto body = [](std::size_t, Rng& rng, std::span<double> out) {
     out[0] = rng.uniform();
     out[1] = 2.0 * out[0];
   };
-  const auto s = monte_carlo_vec(20000, 5, 2, body);
-  EXPECT_NEAR(s[0].mean(), 0.5, 0.02);
-  EXPECT_NEAR(s[1].mean(), 1.0, 0.04);
-  EXPECT_NEAR(s[1].mean(), 2.0 * s[0].mean(), 1e-12);
+  const auto res = experiment::run_fixed(20000, 5, 2, body);
+  EXPECT_NEAR(res.metrics[0].mean(), 0.5, 0.02);
+  EXPECT_NEAR(res.metrics[1].mean(), 1.0, 0.04);
+  EXPECT_NEAR(res.metrics[1].mean(), 2.0 * res.metrics[0].mean(), 1e-12);
 }
 
 TEST(Table, RendersAllRowsAndVerdicts) {

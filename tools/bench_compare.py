@@ -12,6 +12,12 @@ the same bench at two commits — and reports:
   * numeric cell drift beyond a relative threshold, keyed by row label and
     column name.
 
+Files carry an "arrival" block (process kind + burstiness) describing the
+traffic configuration the bench ran under; two files with *different*
+arrival blocks are refused outright (exit code 2) — a trajectory diff is
+only meaningful against the same traffic. Files written before the block
+existed are tolerated (treated as matching).
+
 Usage:
   bench_compare.py OLD.json NEW.json [--rel-tol 0.05] [--time-tol 0.25]
                    [--fail-on-slowdown]
@@ -94,6 +100,12 @@ def main():
     if old["bench"] != new["bench"]:
         print(f"warning: comparing different benches:\n  old: {old['bench']}"
               f"\n  new: {new['bench']}")
+
+    arr_old, arr_new = old.get("arrival"), new.get("arrival")
+    if arr_old is not None and arr_new is not None and arr_old != arr_new:
+        print(f"refusing to diff mismatched traffic configurations:\n"
+              f"  old arrival: {arr_old}\n  new arrival: {arr_new}")
+        return 2
 
     failed = False
     print(f"bench: {new['bench']}")

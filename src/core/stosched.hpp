@@ -9,6 +9,9 @@
 //   * §3 queueing control: multiclass M/G/1 (simulation + closed forms),
 //     Klimov networks, parallel servers, polling, multistation stability,
 //     fluid models;
+//   * stochastic online scheduling: jobs arriving over time to identical /
+//     related / unrelated machines, greedy & index assignment policies,
+//     offline lower bounds and empirical competitive ratios;
 //   * unifying machinery: conservation laws, achievable regions, adaptive
 //     greedy indices, priority-rule catalog;
 //   * the experiment engine: replication driver, CRN paired comparisons,
@@ -50,6 +53,11 @@
 #include "restless/whittle.hpp"
 #include "restless/relaxation.hpp"
 #include "restless/restless_sim.hpp"
+
+#include "online/model.hpp"
+#include "online/policies.hpp"
+#include "online/lower_bound.hpp"
+#include "online/simulate.hpp"
 
 #include "queueing/mg1.hpp"
 #include "queueing/mg1_analytic.hpp"

@@ -106,6 +106,11 @@ std::vector<NetworkPolicy> rybko_stolyar_policies() {
           {"entry priority (0>3, 2>1)", {{0, 3}, {2, 1}}}};
 }
 
+std::vector<online::OnlinePolicyPtr> online_policy_arms() {
+  return {online::greedy_wsept_policy(), online::min_increase_policy(),
+          online::single_sample_policy(), online::random_assignment_policy()};
+}
+
 std::vector<NetworkPolicy> reentrant_policies(
     const queueing::NetworkConfig& config) {
   // Group each station's classes in buffer (= class index) order; FBFS is
@@ -148,6 +153,14 @@ std::size_t metric_count(const MmmScenario& s) {
 
 std::vector<std::string> metric_names(const MmmScenario& s) {
   return queueing::mmm_metric_names(s.classes.size());
+}
+
+std::size_t metric_count(const OnlineScenario&) {
+  return online::online_metric_count();
+}
+
+std::vector<std::string> metric_names(const OnlineScenario&) {
+  return online::online_metric_names();
 }
 
 std::size_t metric_count(const FluidScenario& s) {
@@ -225,6 +238,15 @@ void run_replication(const TreeScenario& s, batch::TreePolicy policy,
       batch::simulate_tree_makespan(s.tree, s.machines, s.rate, policy, rng);
 }
 
+void run_replication(const OnlineScenario& s,
+                     const online::OnlinePolicy& policy, Rng& rng,
+                     std::span<double> out) {
+  STOSCHED_REQUIRE(s.arrival != nullptr,
+                   "online scenario needs an arrival process");
+  online::run_online_replication(*s.arrival, s.types, s.env, s.horizon,
+                                 s.bound, policy, rng, out);
+}
+
 EngineResult run_queue(const QueueScenario& s, const QueuePolicy& policy,
                        const EngineOptions& opt) {
   const queueing::SimOptions sim_opt = arm_options(s, policy);
@@ -292,6 +314,15 @@ EngineResult run_tree(const TreeScenario& s, batch::TreePolicy policy,
   return run(opt, 1, [&](std::size_t, Rng& rng, std::span<double> out) {
     run_replication(s, policy, rng, out);
   });
+}
+
+EngineResult run_online(const OnlineScenario& s,
+                        const online::OnlinePolicy& policy,
+                        const EngineOptions& opt) {
+  return run(opt, metric_count(s),
+             [&](std::size_t, Rng& rng, std::span<double> out) {
+               run_replication(s, policy, rng, out);
+             });
 }
 
 PairedResult compare_queue_policies(const QueueScenario& s,
@@ -381,6 +412,18 @@ PairedResult compare_tree_policies(const TreeScenario& s,
                     [&](std::size_t, std::size_t k, Rng& rng,
                         std::span<double> out) {
                       run_replication(s, arms[k], rng, out);
+                    });
+}
+
+PairedResult compare_online_policies(
+    const OnlineScenario& s, const std::vector<online::OnlinePolicyPtr>& arms,
+    const EngineOptions& opt, Pairing pairing) {
+  for (const auto& a : arms)
+    STOSCHED_REQUIRE(a != nullptr, "online policy arm must be non-null");
+  return run_paired(opt, arms.size(), metric_count(s), pairing,
+                    [&](std::size_t, std::size_t k, Rng& rng,
+                        std::span<double> out) {
+                      run_replication(s, *arms[k], rng, out);
                     });
 }
 

@@ -22,6 +22,8 @@
 #include "batch/job.hpp"
 #include "experiment/engine.hpp"
 #include "experiment/scenario.hpp"
+#include "online/policies.hpp"
+#include "online/simulate.hpp"
 #include "restless/restless_sim.hpp"
 
 namespace stosched::experiment {
@@ -72,6 +74,11 @@ std::vector<NetworkPolicy> rybko_stolyar_policies();
 std::vector<NetworkPolicy> reentrant_policies(
     const queueing::NetworkConfig& config);
 
+/// The canonical online-scheduling arms, in bench F11 order: greedy WSEPT
+/// (arm 0, the baseline paired differences are taken against),
+/// MinIncrease, single-sample SEPT, and random assignment.
+std::vector<online::OnlinePolicyPtr> online_policy_arms();
+
 /// Metric layout of each scenario family (delegates to the simulator).
 std::size_t metric_count(const QueueScenario& s);
 std::vector<std::string> metric_names(const QueueScenario& s);
@@ -85,6 +92,9 @@ std::vector<std::string> metric_names(const MmmScenario& s);
 /// scaled level q_j(t_i)/n].
 std::size_t metric_count(const FluidScenario& s);
 std::vector<std::string> metric_names(const FluidScenario& s);
+/// Online layout: [ratio, weighted_completion, lower_bound, jobs].
+std::size_t metric_count(const OnlineScenario& s);
+std::vector<std::string> metric_names(const OnlineScenario& s);
 
 /// Uniform replication entry points on scenario types.
 void run_replication(const QueueScenario& s, const QueuePolicy& policy,
@@ -111,6 +121,9 @@ void run_replication(const FluidScenario& s,
 /// Tree: single metric, the realized makespan under `policy`.
 void run_replication(const TreeScenario& s, batch::TreePolicy policy,
                      Rng& rng, std::span<double> out);
+void run_replication(const OnlineScenario& s,
+                     const online::OnlinePolicy& policy, Rng& rng,
+                     std::span<double> out);
 
 /// Engine drivers: replications of one policy on one scenario.
 EngineResult run_queue(const QueueScenario& s, const QueuePolicy& policy,
@@ -131,6 +144,9 @@ EngineResult run_fluid(const FluidScenario& s,
                        const EngineOptions& opt);
 EngineResult run_tree(const TreeScenario& s, batch::TreePolicy policy,
                       const EngineOptions& opt);
+EngineResult run_online(const OnlineScenario& s,
+                        const online::OnlinePolicy& policy,
+                        const EngineOptions& opt);
 
 /// Paired policy comparisons (arm 0 is the baseline the differences are
 /// taken against).
@@ -158,5 +174,8 @@ PairedResult compare_fluid_policies(
 PairedResult compare_tree_policies(const TreeScenario& s,
                                    const std::vector<batch::TreePolicy>& arms,
                                    const EngineOptions& opt, Pairing pairing);
+PairedResult compare_online_policies(
+    const OnlineScenario& s, const std::vector<online::OnlinePolicyPtr>& arms,
+    const EngineOptions& opt, Pairing pairing);
 
 }  // namespace stosched::experiment

@@ -43,6 +43,15 @@ double MmmScenario::load() const {
   return queueing::traffic_intensity(classes) / servers;
 }
 
+double OnlineScenario::load() const {
+  STOSCHED_REQUIRE(arrival != nullptr,
+                   "online scenario needs an arrival process");
+  online::validate_types(types);
+  env.validate(types.size());
+  return arrival->rate() * online::mean_size(types) /
+         env.mix_capacity(types);
+}
+
 double FluidScenario::reference_drain_time() const {
   return queueing::fluid_drain(classes, initial,
                                queueing::fluid_cmu_priority(classes))
@@ -178,6 +187,17 @@ Registry<PollingScenario> build_polling_registry() {
            deterministic_dist(0.4),
            2e5,
            2e4});
+  // Bursty variant: identical queues and setups, MMPP input (IDC 6) — the
+  // non-Poisson polling configuration the simulators already support, now
+  // reachable by name.
+  {
+    PollingScenario bursty =
+        with_burstiness(reg.get("t11-two-queue", "polling"), 6.0);
+    bursty.name = "t11-bursty";
+    bursty.description =
+        "T11 polling system under bursty MMPP arrivals, IDC = 6";
+    reg.add(std::move(bursty));
+  }
   return reg;
 }
 
@@ -278,6 +298,20 @@ Registry<NetworkScenario> build_network_registry() {
   dw.horizon = 4e4;
   dw.samples = 80;
   reg.add(std::move(dw));
+  // Heavy-tailed Lu–Kumar: identical topology and rates, but the exit-stage
+  // classes draw hyperexponential services (SCV 6) — the stability contrast
+  // when the virtual-station workload is dominated by rare huge jobs.
+  NetworkScenario ht;
+  ht.name = "lu-kumar-ht";
+  ht.description =
+      "Lu-Kumar network with heavy-tailed (SCV 6) exit-stage services";
+  ht.config = queueing::lu_kumar_network(1.0, 0.01, 2.0 / 3.0, 0.01,
+                                         2.0 / 3.0, /*bad_priority=*/false);
+  ht.config.classes[1].service = hyperexp2_dist(2.0 / 3.0, 6.0);
+  ht.config.classes[3].service = hyperexp2_dist(2.0 / 3.0, 6.0);
+  ht.horizon = 4e4;
+  ht.samples = 80;
+  reg.add(std::move(ht));
   return reg;
 }
 
@@ -297,7 +331,14 @@ Registry<MmmScenario> build_mmm_registry() {
       {0.4 * rho * pooling.servers * 2.25, exponential_dist(2.25), 1.0}};
   pooling.horizon = 2e5;
   pooling.warmup = 2e4;
+  MmmScenario bursty = with_burstiness(pooling, 6.0);
   reg.add(std::move(pooling));
+  // Bursty pooling: the same two-class workload under MMPP input (IDC 6) —
+  // the non-Poisson parallel-server configuration, reachable by name.
+  bursty.name = "parallel-pooling-bursty";
+  bursty.description =
+      "2-class M/M/2 pooling workload under bursty MMPP arrivals, IDC = 6";
+  reg.add(std::move(bursty));
   return reg;
 }
 
@@ -325,6 +366,81 @@ Registry<TreeScenario> build_tree_registry() {
   TreeScenario t = intree_scenario(100);
   t.name = "intree";
   reg.add(std::move(t));
+  return reg;
+}
+
+Registry<OnlineScenario> build_online_registry() {
+  Registry<OnlineScenario> reg;
+  // Identical machines: a 3-type mix whose weights and size laws disagree
+  // (urgent short exponentials, standard Erlang, heavy hyperexponential),
+  // so assignment and WSEPT sequencing both matter. rho = 0.75 at m = 4.
+  {
+    OnlineScenario s;
+    s.name = "online-identical";
+    s.description =
+        "3-type online mix on 4 identical machines, rho = 0.75";
+    s.types = {{0.50, 3.0, exponential_dist(2.0)},
+               {0.35, 1.0, erlang_dist(2, 2.0)},
+               {0.15, 0.5, hyperexp2_dist(2.0, 4.0)}};
+    s.env = online::identical_machines(4, s.types.size());
+    // load = rate * E[S] / m with E[S] = 0.9.
+    s.arrival = poisson_arrivals(0.75 * 4.0 / 0.9);
+    s.horizon = 45.0;
+    reg.add(std::move(s));
+  }
+  // Unrelated machines: three specialists (3x fast on their own type,
+  // slow elsewhere) plus one generalist — the regime where informed
+  // assignment dominates and random routing pays the misrouting price.
+  {
+    OnlineScenario s;
+    s.name = "online-unrelated";
+    s.description =
+        "3-type online mix on 3 specialists + 1 generalist, rho = 0.75";
+    s.types = {{0.40, 2.0, exponential_dist(1.0)},
+               {0.35, 1.0, erlang_dist(2, 5.0 / 3.0)},
+               {0.25, 0.6, hyperexp2_dist(1.5, 3.0)}};
+    s.env = online::unrelated_machines({{3.0, 0.8, 0.8},
+                                        {0.8, 3.0, 0.8},
+                                        {0.8, 0.8, 3.0},
+                                        {1.2, 1.2, 1.2}});
+    OnlineScenario base = s;  // reuse the mix for the load computation
+    base.arrival = poisson_arrivals(1.0);
+    s.arrival = poisson_arrivals(0.75 / base.load());
+    s.horizon = 40.0;
+    reg.add(std::move(s));
+  }
+  // Bursty variant of the unrelated workload: identical mix and machines,
+  // MMPP job stream (IDC 6) — arrivals pile up exactly when assignment
+  // mistakes are most expensive.
+  {
+    OnlineScenario bursty =
+        with_burstiness(reg.get("online-unrelated", "online"), 6.0);
+    bursty.name = "online-bursty";
+    bursty.description =
+        "unrelated online workload under bursty MMPP arrivals, IDC = 6";
+    reg.add(std::move(bursty));
+  }
+  // Bernoulli-type jobs (Antoniadis–Hoeksma–Schewior–Uetz): two-point
+  // sizes that are tiny with high probability and huge otherwise, on two
+  // specialists plus a generalist — the regime where a single observed
+  // sample is genuinely informative (it reveals which branch the job is
+  // likely from) and moment-based rules face extreme residual risk.
+  {
+    OnlineScenario s;
+    s.name = "online-bernoulli";
+    s.description =
+        "two-point Bernoulli-type jobs on 2 specialists + 1 generalist, "
+        "rho = 0.7";
+    s.types = {{0.55, 2.0, two_point_dist(0.1, 0.75, 4.0)},
+               {0.45, 1.0, two_point_dist(0.05, 0.5, 2.0)}};
+    s.env = online::unrelated_machines(
+        {{2.5, 0.6}, {0.6, 2.5}, {1.0, 1.0}});
+    OnlineScenario base = s;
+    base.arrival = poisson_arrivals(1.0);
+    s.arrival = poisson_arrivals(0.7 / base.load());
+    s.horizon = 40.0;
+    reg.add(std::move(s));
+  }
   return reg;
 }
 
@@ -368,6 +484,11 @@ const Registry<TreeScenario>& tree_registry() {
   return reg;
 }
 
+const Registry<OnlineScenario>& online_registry() {
+  static const Registry<OnlineScenario> reg = build_online_registry();
+  return reg;
+}
+
 }  // namespace
 
 const QueueScenario& queue_scenario(std::string_view name) {
@@ -402,6 +523,10 @@ const TreeScenario& tree_scenario(std::string_view name) {
   return tree_registry().get(name, "tree");
 }
 
+const OnlineScenario& online_scenario(std::string_view name) {
+  return online_registry().get(name, "online");
+}
+
 std::vector<std::string> queue_scenario_names() {
   return queue_registry().names();
 }
@@ -432,6 +557,10 @@ std::vector<std::string> tree_scenario_names() {
   return tree_registry().names();
 }
 
+std::vector<std::string> online_scenario_names() {
+  return online_registry().names();
+}
+
 namespace {
 
 /// Multiply a class's effective arrival rate by `factor`, whichever way the
@@ -447,6 +576,20 @@ std::string suffixed(const std::string& name, const char* tag, double value) {
   std::ostringstream os;
   os << name << tag << value;
   return os.str();
+}
+
+/// Shared body of the ClassSpec-based burstiness sweeps: every externally
+/// fed class's arrivals become a symmetric on-off MMPP at its current
+/// effective rate.
+template <class Scenario>
+Scenario burstify_classes(Scenario s, double burstiness) {
+  for (auto& c : s.classes) {
+    const double rate = queueing::class_arrival_rate(c);
+    if (rate <= 0.0) continue;
+    c.arrival = bursty_arrivals(rate, burstiness);
+  }
+  s.name = suffixed(s.name, "@idc=", burstiness);
+  return s;
 }
 
 }  // namespace
@@ -472,13 +615,7 @@ QueueScenario with_arrival_scv(QueueScenario s, double scv) {
 }
 
 QueueScenario with_burstiness(QueueScenario s, double burstiness) {
-  for (auto& c : s.classes) {
-    const double rate = queueing::class_arrival_rate(c);
-    if (rate <= 0.0) continue;
-    c.arrival = bursty_arrivals(rate, burstiness);
-  }
-  s.name = suffixed(s.name, "@idc=", burstiness);
-  return s;
+  return burstify_classes(std::move(s), burstiness);
 }
 
 NetworkScenario with_burstiness(NetworkScenario s, double burstiness) {
@@ -489,6 +626,14 @@ NetworkScenario with_burstiness(NetworkScenario s, double burstiness) {
   }
   s.name = suffixed(s.name, "@idc=", burstiness);
   return s;
+}
+
+PollingScenario with_burstiness(PollingScenario s, double burstiness) {
+  return burstify_classes(std::move(s), burstiness);
+}
+
+MmmScenario with_burstiness(MmmScenario s, double burstiness) {
+  return burstify_classes(std::move(s), burstiness);
 }
 
 PollingScenario with_switchover(PollingScenario s, DistPtr law) {
@@ -564,6 +709,43 @@ TreeScenario intree_scenario(std::size_t n) {
   s.tree = batch::random_in_tree(n, tree_rng);
   s.machines = 3;
   s.rate = 1.0;
+  return s;
+}
+
+OnlineScenario scale_to_load(OnlineScenario s, double rho) {
+  STOSCHED_REQUIRE(rho > 0.0, "target load must be > 0");
+  const double base = s.load();
+  STOSCHED_REQUIRE(base > 0.0, "scenario has zero load");
+  s.arrival = s.arrival->scaled(rho / base);
+  s.name = suffixed(s.name, "@rho=", rho);
+  return s;
+}
+
+OnlineScenario with_burstiness(OnlineScenario s, double burstiness) {
+  STOSCHED_REQUIRE(s.arrival != nullptr,
+                   "online scenario needs an arrival process");
+  s.arrival = bursty_arrivals(s.arrival->rate(), burstiness);
+  s.name = suffixed(s.name, "@idc=", burstiness);
+  return s;
+}
+
+OnlineScenario with_machines(OnlineScenario s, std::size_t m) {
+  STOSCHED_REQUIRE(m >= 1, "need at least one machine");
+  const double old_capacity = s.env.mix_capacity(s.types);
+  std::vector<std::vector<double>> rows;
+  rows.reserve(m);
+  for (std::size_t i = 0; i < m; ++i)
+    rows.push_back(s.env.speed[i % s.env.machines()]);
+  s.env.speed = std::move(rows);
+  // Keep the nominal per-capacity load unchanged under the new pool.
+  s.arrival = s.arrival->scaled(s.env.mix_capacity(s.types) / old_capacity);
+  s.name += "-m" + std::to_string(m);
+  return s;
+}
+
+OnlineScenario with_size_scv(OnlineScenario s, double scv) {
+  for (auto& t : s.types) t.size = with_mean_scv(t.size->mean(), scv);
+  s.name = suffixed(s.name, "@sscv=", scv);
   return s;
 }
 

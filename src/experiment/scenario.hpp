@@ -23,7 +23,12 @@
 //   * FluidScenario    — a fluid-scaled draining workload (FLLN
 //                        experiments);
 //   * TreeScenario     — an in-tree precedence instance on parallel
-//                        machines.
+//                        machines;
+//   * OnlineScenario   — stochastic online scheduling: jobs arriving over
+//                        time (any ArrivalProcess) to identical / related /
+//                        unrelated machines, assigned irrevocably by an
+//                        OnlinePolicy and benchmarked against the offline
+//                        lower bound (empirical competitive ratios).
 //
 // Helpers derive swept variants (scale_to_load, with_switchover,
 // with_servers, with_arrival_scv, with_burstiness, turnpike_scenario(n),
@@ -40,6 +45,8 @@
 
 #include "batch/job.hpp"
 #include "batch/precedence.hpp"
+#include "online/lower_bound.hpp"
+#include "online/model.hpp"
 #include "queueing/fluid.hpp"
 #include "queueing/mg1.hpp"
 #include "queueing/network.hpp"
@@ -166,6 +173,24 @@ struct TreeScenario {
   double rate = 1.0;
 };
 
+/// A stochastic online scheduling workload: jobs arrive on [0, horizon)
+/// driven by `arrival`, draw a type from the mix, and must be assigned to a
+/// machine of `env` the moment they arrive. The OnlinePolicy is the policy
+/// arm; `bound` controls the offline lower bound of the ratio metric.
+struct OnlineScenario {
+  std::string name;
+  std::string description;
+  ArrivalPtr arrival;
+  std::vector<online::JobType> types;
+  online::Environment env;
+  double horizon = 60.0;
+  online::OfflineBoundOptions bound;
+
+  /// Nominal load: job rate × mean size / mix service capacity (the
+  /// identical-machine λ E[S] / m, generalized through mix_capacity).
+  [[nodiscard]] double load() const;
+};
+
 /// Registry lookups. Unknown names throw std::invalid_argument listing the
 /// known scenarios; *_names() enumerate the catalogue for sweeps/tools.
 const QueueScenario& queue_scenario(std::string_view name);
@@ -176,6 +201,7 @@ const NetworkScenario& network_scenario(std::string_view name);
 const MmmScenario& mmm_scenario(std::string_view name);
 const FluidScenario& fluid_scenario(std::string_view name);
 const TreeScenario& tree_scenario(std::string_view name);
+const OnlineScenario& online_scenario(std::string_view name);
 
 std::vector<std::string> queue_scenario_names();
 std::vector<std::string> polling_scenario_names();
@@ -185,6 +211,7 @@ std::vector<std::string> network_scenario_names();
 std::vector<std::string> mmm_scenario_names();
 std::vector<std::string> fluid_scenario_names();
 std::vector<std::string> tree_scenario_names();
+std::vector<std::string> online_scenario_names();
 
 /// Rescale every arrival rate by a common factor so the base traffic
 /// intensity becomes `rho` — the standard load-sweep transform. Classes
@@ -206,6 +233,13 @@ QueueScenario with_burstiness(QueueScenario s, double burstiness);
 /// Network variant of the burstiness sweep: every externally-fed class's
 /// arrivals become a bursty MMPP at its current effective rate.
 NetworkScenario with_burstiness(NetworkScenario s, double burstiness);
+
+/// Polling variant of the burstiness sweep: every queue's arrivals become a
+/// symmetric on-off MMPP at its current effective rate.
+PollingScenario with_burstiness(PollingScenario s, double burstiness);
+
+/// Parallel-server variant of the burstiness sweep.
+MmmScenario with_burstiness(MmmScenario s, double burstiness);
 
 /// Swap in a different switchover law (setup-time sweeps).
 PollingScenario with_switchover(PollingScenario s, DistPtr law);
@@ -231,5 +265,23 @@ BatchScenario twopoint_scenario(std::size_t instance);
 /// The F8 random in-tree on n nodes, 3 machines, Exp(1) tasks (the
 /// registry's "intree" entry is this at n = 100).
 TreeScenario intree_scenario(std::size_t n);
+
+/// Rescale the arrival process in time (ArrivalProcess::scaled, preserving
+/// burstiness) so the nominal load becomes `rho`.
+OnlineScenario scale_to_load(OnlineScenario s, double rho);
+
+/// Online variant of the burstiness sweep: the job stream becomes a
+/// symmetric on-off MMPP at its current effective rate.
+OnlineScenario with_burstiness(OnlineScenario s, double burstiness);
+
+/// Machine-count sweep: grow/shrink the environment to `m` machines by
+/// cycling its speed rows, rescaling the arrival stream so the nominal
+/// per-capacity load is unchanged.
+OnlineScenario with_machines(OnlineScenario s, std::size_t m);
+
+/// Size-variability sweep: every type's size law becomes the exact
+/// two-moment fit (dist::with_mean_scv) to its current mean and the target
+/// SCV. SCV 1 recovers exponential sizes exactly.
+OnlineScenario with_size_scv(OnlineScenario s, double scv);
 
 }  // namespace stosched::experiment

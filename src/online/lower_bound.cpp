@@ -1,0 +1,217 @@
+#include "online/lower_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "lp/simplex.hpp"
+#include "util/check.hpp"
+
+namespace stosched::online {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Best-machine processing times q_j = min_i p_ij of the realized instance.
+std::vector<double> best_proc_times(const OnlineInstance& inst,
+                                    const Environment& env) {
+  std::vector<double> q(inst.size(), 0.0);
+  for (std::size_t j = 0; j < inst.size(); ++j) {
+    double best = kInf;
+    for (std::size_t i = 0; i < env.machines(); ++i)
+      best = std::min(best, env.proc_time(i, inst[j].type, inst[j].size));
+    q[j] = best;
+  }
+  return q;
+}
+
+/// Mean busy times M_j of preemptive WSPT on a single speed-m machine:
+/// process the released job with the highest w/q at rate m, preempting at
+/// releases. The unique O(n log n) minimizer of Σ w_j M_j on the fluid
+/// relaxation (Goemans).
+std::vector<double> wspt_mean_busy_times(const OnlineInstance& inst,
+                                         const std::vector<double>& q,
+                                         double m) {
+  const std::size_t n = inst.size();
+  std::vector<std::size_t> by_release(n);
+  for (std::size_t j = 0; j < n; ++j) by_release[j] = j;
+  std::stable_sort(by_release.begin(), by_release.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return inst[a].release < inst[b].release;
+                   });
+
+  struct Entry {
+    double index;  // w / q (infinite for zero-size jobs: done instantly)
+    std::size_t job;
+  };
+  const auto lower = [](const Entry& a, const Entry& b) {
+    // Max-heap on the index; ties serve the earlier arrival first.
+    return a.index < b.index || (a.index == b.index && a.job > b.job);
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(lower)> heap(lower);
+
+  std::vector<double> rem = q;
+  std::vector<double> busy(n, 0.0);
+  double now = 0.0;
+  std::size_t next = 0;
+  while (next < n || !heap.empty()) {
+    while (next < n && inst[by_release[next]].release <= now) {
+      const std::size_t j = by_release[next++];
+      heap.push({q[j] > 0.0 ? inst[j].weight / q[j] : kInf, j});
+    }
+    if (heap.empty()) {
+      now = inst[by_release[next]].release;
+      continue;
+    }
+    const std::size_t j = heap.top().job;
+    if (rem[j] <= 0.0) {
+      heap.pop();
+      continue;
+    }
+    const double finish_dt = rem[j] / m;
+    const double release_dt =
+        next < n ? inst[by_release[next]].release - now : kInf;
+    const double d = std::min(finish_dt, release_dt);
+    if (d > 0.0) {
+      // Work m*d of job j processed centered at now + d/2.
+      busy[j] += (now + 0.5 * d) * (m * d) / q[j];
+      rem[j] -= m * d;
+      now += d;
+    }
+    if (rem[j] <= 1e-12 * q[j]) {
+      rem[j] = 0.0;
+      heap.pop();
+    }
+  }
+  return busy;
+}
+
+/// The interval-indexed LP bound (0 if skipped or the solve failed).
+double interval_lp_bound(const OnlineInstance& inst, const Environment& env,
+                         const std::vector<double>& q,
+                         const OfflineBoundOptions& opt) {
+  const std::size_t n = inst.size();
+  const std::size_t m = env.machines();
+  STOSCHED_REQUIRE(opt.interval_ratio > 1.0,
+                   "LP interval ratio must exceed 1");
+
+  // Geometric grid 0 = τ_0 < τ_1 < ... < τ_T covering every completion an
+  // optimal schedule could have (each job on some machine after the last
+  // release).
+  double smallest = kInf, upper = 0.0, max_release = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (q[j] > 0.0) smallest = std::min(smallest, q[j]);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < m; ++i)
+      worst = std::max(worst, env.proc_time(i, inst[j].type, inst[j].size));
+    upper += worst;
+    max_release = std::max(max_release, inst[j].release);
+  }
+  upper += max_release;
+  if (upper <= 0.0) return 0.0;
+  if (!std::isfinite(smallest)) smallest = upper;
+  std::vector<double> tau{0.0, smallest};
+  while (tau.back() < upper) tau.push_back(tau.back() * opt.interval_ratio);
+  const std::size_t T = tau.size() - 1;  // intervals (τ_{t-1}, τ_t]
+
+  // Variable layout: C_0..C_{n-1}, then x_{ijt} for every allowed triple
+  // (interval ends after the job's release).
+  std::vector<std::vector<std::size_t>> xbase(n);  // per job: first var id
+  std::vector<std::vector<std::size_t>> xtidx(n);  // per job: allowed t's
+  std::size_t vars = n;
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t t = 1; t <= T; ++t) {
+      if (tau[t] <= inst[j].release) continue;
+      xtidx[j].push_back(t);
+    }
+    xbase[j].assign(1, vars);
+    vars += m * xtidx[j].size();
+  }
+
+  std::vector<double> costs(vars, 0.0);
+  for (std::size_t j = 0; j < n; ++j) costs[j] = inst[j].weight;
+  lp::Problem prob = lp::Problem::minimize(std::move(costs));
+
+  const auto xvar = [&](std::size_t j, std::size_t i, std::size_t k) {
+    return xbase[j][0] + i * xtidx[j].size() + k;
+  };
+
+  // Coverage: Σ_{i,t} x_{ijt} = 1.
+  for (std::size_t j = 0; j < n; ++j) {
+    std::vector<double> row(vars, 0.0);
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t k = 0; k < xtidx[j].size(); ++k)
+        row[xvar(j, i, k)] = 1.0;
+    prob.subject_to(std::move(row), lp::Sense::kEq, 1.0);
+  }
+
+  // Capacity: Σ_j p_ij x_{ijt} <= τ_t − τ_{t-1} per machine and interval.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t t = 1; t <= T; ++t) {
+      std::vector<double> row(vars, 0.0);
+      bool any = false;
+      for (std::size_t j = 0; j < n; ++j) {
+        const auto it =
+            std::find(xtidx[j].begin(), xtidx[j].end(), t);
+        if (it == xtidx[j].end()) continue;
+        const std::size_t k =
+            static_cast<std::size_t>(it - xtidx[j].begin());
+        row[xvar(j, i, k)] = env.proc_time(i, inst[j].type, inst[j].size);
+        any = true;
+      }
+      if (any)
+        prob.subject_to(std::move(row), lp::Sense::kLe, tau[t] - tau[t - 1]);
+    }
+  }
+
+  // Completion-time bounds: C_j >= Σ x τ_{t-1} and C_j >= r_j + Σ x p_ij.
+  for (std::size_t j = 0; j < n; ++j) {
+    std::vector<double> by_start(vars, 0.0), by_proc(vars, 0.0);
+    by_start[j] = 1.0;
+    by_proc[j] = 1.0;
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t k = 0; k < xtidx[j].size(); ++k) {
+        by_start[xvar(j, i, k)] = -tau[xtidx[j][k] - 1];
+        by_proc[xvar(j, i, k)] =
+            -env.proc_time(i, inst[j].type, inst[j].size);
+      }
+    prob.subject_to(std::move(by_start), lp::Sense::kGe, 0.0);
+    prob.subject_to(std::move(by_proc), lp::Sense::kGe, inst[j].release);
+  }
+
+  const lp::Solution sol = lp::solve(prob);
+  return sol.optimal() ? sol.objective : 0.0;
+}
+
+}  // namespace
+
+OfflineBound offline_lower_bound(const OnlineInstance& inst,
+                                 const Environment& env,
+                                 const std::vector<JobType>& types,
+                                 const OfflineBoundOptions& opt) {
+  env.validate(types.size());
+  OfflineBound bound;
+  if (inst.empty()) return bound;
+
+  const std::vector<double> q = best_proc_times(inst, env);
+  const double m = static_cast<double>(env.machines());
+
+  for (std::size_t j = 0; j < inst.size(); ++j)
+    bound.release_bound += inst[j].weight * (inst[j].release + q[j]);
+
+  const std::vector<double> busy = wspt_mean_busy_times(inst, q, m);
+  for (std::size_t j = 0; j < inst.size(); ++j)
+    bound.busy_bound += inst[j].weight * (busy[j] + q[j] / (2.0 * m));
+
+  if (opt.use_lp && inst.size() <= opt.lp_job_cap)
+    bound.lp_bound = interval_lp_bound(inst, env, q, opt);
+
+  bound.value =
+      std::max({bound.release_bound, bound.busy_bound, bound.lp_bound});
+  return bound;
+}
+
+}  // namespace stosched::online

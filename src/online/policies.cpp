@@ -1,0 +1,145 @@
+#include "online/policies.hpp"
+
+#include "util/check.hpp"
+
+namespace stosched::online {
+
+double expected_proc(const OnlineContext& ctx, const OnlineJob& job,
+                     std::size_t machine) {
+  return ctx.types[job.type].size->mean() / ctx.env.speed[machine][job.type];
+}
+
+double believed_delay(const MachineState& state, double pri, double now) {
+  double delay = state.believed_residual(now);
+  for (const auto& q : state.queue)
+    if (q.priority >= pri) delay += q.believed;
+  return delay;
+}
+
+namespace {
+
+/// Shared argmin-with-lowest-machine-id tie-break.
+template <class Score>
+std::size_t argmin_machine(std::size_t machines, Score&& score) {
+  std::size_t best = 0;
+  double best_score = score(0);
+  for (std::size_t i = 1; i < machines; ++i) {
+    const double s = score(i);
+    if (s < best_score) {
+      best = i;
+      best_score = s;
+    }
+  }
+  return best;
+}
+
+class GreedyWseptPolicy final : public OnlinePolicy {
+ public:
+  const char* name() const noexcept override { return "greedy-wsept"; }
+
+  double believed_proc(const OnlineContext& ctx, const OnlineJob& job,
+                       std::size_t machine) const override {
+    return expected_proc(ctx, job, machine);
+  }
+
+  std::size_t assign(const OnlineContext& ctx, const OnlineJob& job,
+                     const std::vector<MachineState>& machines, double now,
+                     Rng&) const override {
+    // The job's own expected completion under WSEPT insertion: the work it
+    // must wait behind plus its own expected processing. Faster machines
+    // win on both terms; backlogged machines lose.
+    return argmin_machine(machines.size(), [&](std::size_t i) {
+      const double p = believed_proc(ctx, job, i);
+      return believed_delay(machines[i], job.weight / p, now) + p;
+    });
+  }
+};
+
+class MinIncreasePolicy final : public OnlinePolicy {
+ public:
+  const char* name() const noexcept override { return "min-increase"; }
+
+  double believed_proc(const OnlineContext& ctx, const OnlineJob& job,
+                       std::size_t machine) const override {
+    return expected_proc(ctx, job, machine);
+  }
+
+  std::size_t assign(const OnlineContext& ctx, const OnlineJob& job,
+                     const std::vector<MachineState>& machines, double now,
+                     Rng&) const override {
+    // Expected increment of Σ w C when inserting into machine i's WSEPT
+    // order: the job's own expected weighted completion plus the delay it
+    // inflicts on every queued job it overtakes.
+    return argmin_machine(machines.size(), [&](std::size_t i) {
+      const double p = believed_proc(ctx, job, i);
+      const double pri = job.weight / p;
+      double overtaken_weight = 0.0;
+      for (const auto& q : machines[i].queue)
+        if (q.priority < pri) overtaken_weight += q.weight;
+      return job.weight * (believed_delay(machines[i], pri, now) + p) +
+             p * overtaken_weight;
+    });
+  }
+};
+
+class SingleSamplePolicy final : public OnlinePolicy {
+ public:
+  const char* name() const noexcept override { return "single-sample"; }
+
+  double believed_proc(const OnlineContext& ctx, const OnlineJob& job,
+                       std::size_t machine) const override {
+    return job.sample / ctx.env.speed[machine][job.type];
+  }
+
+  /// SEPT on the sample: shortest believed job first, weights ignored —
+  /// the unweighted sample-information baseline.
+  double priority(const OnlineContext& ctx, const OnlineJob& job,
+                  std::size_t machine) const override {
+    return 1.0 / believed_proc(ctx, job, machine);
+  }
+
+  std::size_t assign(const OnlineContext& ctx, const OnlineJob& job,
+                     const std::vector<MachineState>& machines, double now,
+                     Rng&) const override {
+    return argmin_machine(machines.size(), [&](std::size_t i) {
+      const double p = believed_proc(ctx, job, i);
+      return believed_delay(machines[i], priority(ctx, job, i), now) + p;
+    });
+  }
+};
+
+class RandomAssignmentPolicy final : public OnlinePolicy {
+ public:
+  const char* name() const noexcept override { return "random"; }
+
+  double believed_proc(const OnlineContext& ctx, const OnlineJob& job,
+                       std::size_t machine) const override {
+    return expected_proc(ctx, job, machine);
+  }
+
+  std::size_t assign(const OnlineContext&, const OnlineJob&,
+                     const std::vector<MachineState>& machines, double,
+                     Rng& rng) const override {
+    return static_cast<std::size_t>(rng.below(machines.size()));
+  }
+};
+
+}  // namespace
+
+OnlinePolicyPtr greedy_wsept_policy() {
+  return std::make_shared<GreedyWseptPolicy>();
+}
+
+OnlinePolicyPtr min_increase_policy() {
+  return std::make_shared<MinIncreasePolicy>();
+}
+
+OnlinePolicyPtr single_sample_policy() {
+  return std::make_shared<SingleSamplePolicy>();
+}
+
+OnlinePolicyPtr random_assignment_policy() {
+  return std::make_shared<RandomAssignmentPolicy>();
+}
+
+}  // namespace stosched::online

@@ -1,0 +1,120 @@
+// policies.hpp — online assignment policies behind one interface.
+//
+// An online policy makes two decisions, both using only information
+// available at the decision epoch (type, weight, the size *law* — never the
+// realized size):
+//
+//   * *assignment*: pick a machine the instant a job arrives (immediate and
+//     irrevocable — the defining constraint of the model);
+//   * *local sequencing*: a static priority index per (job, machine); each
+//     machine serves its queue nonpreemptively in decreasing index order.
+//
+// The four implementations are the canonical arms of the stochastic
+// online scheduling literature:
+//
+//   * greedy-wsept  — Jäger-style greedy by expected rate: machines
+//     sequence by WSEPT (w / E[p_ij], the cµ index of this setting) and the
+//     job goes wherever its own expected completion time is smallest;
+//   * min-increase  — Megow–Uetz–Vredeveld: the job goes to the machine
+//     minimizing the expected increment of Σ w_j C_j, i.e. its own expected
+//     weighted completion *plus* the expected delay it inflicts on the
+//     lower-index jobs it overtakes;
+//   * single-sample — sees ONE independent sample of each job's size law
+//     instead of its moments (the sample-based information regime of the
+//     Bernoulli-type-job / policy-stratification line of work): greedy
+//     assignment and SEPT sequencing computed from the sample as if it were
+//     the mean;
+//   * random        — uniformly random machine, WSEPT sequencing: the
+//     baseline that isolates the value of informed *assignment*.
+//
+// Thread-safety: policy objects are immutable after construction (all
+// methods const) because the experiment engine runs replications of the
+// same policy concurrently. Per-replication randomness (the random arm's
+// machine draws) flows through the dedicated policy substream handed to
+// `assign`.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "online/model.hpp"
+#include "util/rng.hpp"
+
+namespace stosched::online {
+
+/// What a policy believes about one queued (not yet started) job.
+struct QueueEntry {
+  std::size_t job = 0;      ///< instance index (arrival order)
+  double believed = 0.0;    ///< policy's believed processing time here
+  double weight = 1.0;
+  double priority = 0.0;    ///< local sequencing index (higher served first)
+};
+
+/// The online-visible state of one machine: believed quantities only — the
+/// realized remaining time of the in-service job is deliberately absent.
+struct MachineState {
+  bool busy = false;
+  double believed_end = 0.0;  ///< believed completion epoch of current job
+  std::vector<QueueEntry> queue;
+
+  /// Believed remaining processing of the in-service job at `now`.
+  [[nodiscard]] double believed_residual(double now) const {
+    return busy && believed_end > now ? believed_end - now : 0.0;
+  }
+};
+
+/// Everything a policy may condition on besides the machine states.
+struct OnlineContext {
+  const Environment& env;
+  const std::vector<JobType>& types;
+};
+
+class OnlinePolicy {
+ public:
+  virtual ~OnlinePolicy() = default;
+
+  /// Short arm tag ("greedy-wsept", ...), for tables and bench metadata.
+  virtual const char* name() const noexcept = 0;
+
+  /// The policy's believed processing time of `job` on `machine` — the
+  /// expectation E[p_ij] for moment-informed policies, the observed sample
+  /// for the single-sample regime. Strictly positive.
+  virtual double believed_proc(const OnlineContext& ctx, const OnlineJob& job,
+                               std::size_t machine) const = 0;
+
+  /// Local sequencing index of `job` on `machine` (higher served first).
+  /// Default: WSEPT, weight / believed_proc.
+  virtual double priority(const OnlineContext& ctx, const OnlineJob& job,
+                          std::size_t machine) const {
+    return job.weight / believed_proc(ctx, job, machine);
+  }
+
+  /// Pick a machine for the arriving `job`. `machines` holds the believed
+  /// per-machine states, `now` is the arrival epoch, and `rng` is the
+  /// policy's dedicated substream (only randomized policies draw).
+  virtual std::size_t assign(const OnlineContext& ctx, const OnlineJob& job,
+                             const std::vector<MachineState>& machines,
+                             double now, Rng& rng) const = 0;
+};
+
+using OnlinePolicyPtr = std::shared_ptr<const OnlinePolicy>;
+
+/// Expected processing time of `job` on `machine`: E[S_type] / speed.
+double expected_proc(const OnlineContext& ctx, const OnlineJob& job,
+                     std::size_t machine);
+
+/// Believed delay ahead of a job of local index `pri` on machine `state`:
+/// the in-service residual plus every queued job that would be served
+/// first (index >= pri — queued jobs arrived earlier, and ties go to the
+/// earlier arrival, mirroring the simulator's tie-break).
+double believed_delay(const MachineState& state, double pri, double now);
+
+// ---- factories -----------------------------------------------------------
+
+OnlinePolicyPtr greedy_wsept_policy();
+OnlinePolicyPtr min_increase_policy();
+OnlinePolicyPtr single_sample_policy();
+OnlinePolicyPtr random_assignment_policy();
+
+}  // namespace stosched::online

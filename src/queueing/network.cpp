@@ -14,7 +14,8 @@ void NetworkConfig::validate() const {
   STOSCHED_REQUIRE(num_stations >= 1, "network needs at least one station");
   for (const auto& c : classes) {
     STOSCHED_REQUIRE(c.station < num_stations, "class station out of range");
-    STOSCHED_REQUIRE(c.service_mean > 0.0, "service mean must be positive");
+    STOSCHED_REQUIRE(network_class_service_mean(c) > 0.0,
+                     "service mean must be positive");
     STOSCHED_REQUIRE(c.next == NetworkClass::kExit || c.next < classes.size(),
                      "route target out of range");
     STOSCHED_REQUIRE(c.arrival_rate >= 0.0, "arrival rate must be >= 0");
@@ -48,6 +49,10 @@ double network_class_rate(const NetworkClass& c) {
   return c.arrival ? c.arrival->rate() : c.arrival_rate;
 }
 
+double network_class_service_mean(const NetworkClass& c) {
+  return c.service ? c.service->mean() : c.service_mean;
+}
+
 ArrivalPtr effective_arrival(const NetworkClass& c) {
   if (c.arrival) return c.arrival;
   return c.arrival_rate > 0.0 ? poisson_arrivals(c.arrival_rate) : nullptr;
@@ -71,7 +76,8 @@ std::vector<double> station_intensities(const NetworkConfig& config) {
   }
   std::vector<double> rho(config.num_stations, 0.0);
   for (std::size_t c = 0; c < config.classes.size(); ++c)
-    rho[config.classes[c].station] += rate[c] * config.classes[c].service_mean;
+    rho[config.classes[c].station] +=
+        rate[c] * network_class_service_mean(config.classes[c]);
   return rho;
 }
 
@@ -150,10 +156,13 @@ NetworkTrace simulate_network(const NetworkConfig& config, double horizon,
     queue[pick].pop_front();
     busy[st] = 1;
     serving[st] = pick;
-    events.push(
-        now + service_rng[pick].exponential(
-                  1.0 / config.classes[pick].service_mean),
-        kServiceDone, static_cast<std::uint32_t>(st));
+    // Attached law when present; otherwise the historical exponential draw,
+    // kept verbatim so default configs reproduce bit-for-bit.
+    const auto& cls = config.classes[pick];
+    const double duration =
+        cls.service ? cls.service->sample(service_rng[pick])
+                    : service_rng[pick].exponential(1.0 / cls.service_mean);
+    events.push(now + duration, kServiceDone, static_cast<std::uint32_t>(st));
   };
 
   auto enqueue_job = [&](std::size_t cls) {

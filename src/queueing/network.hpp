@@ -14,8 +14,10 @@
 // the divergence/stability contrast.
 //
 // The simulator handles general feed-forward-or-cyclic class routes over a
-// set of stations with exponential services, per-station nonpreemptive
-// priority or FCFS.
+// set of stations with per-station nonpreemptive priority or FCFS. Services
+// default to exponential (`service_mean`, the historical path, reproduced
+// bit-for-bit) but any `DistPtr` law can be attached per class — the
+// heavy-tailed-service stability experiments ride on that.
 #pragma once
 
 #include <cstddef>
@@ -26,6 +28,7 @@
 #include <vector>
 
 #include "dist/arrival.hpp"
+#include "dist/distribution.hpp"
 #include "util/rng.hpp"
 
 namespace stosched::queueing {
@@ -42,7 +45,7 @@ struct NetworkClass {
         arrival(std::move(arrival_process)) {}
 
   std::size_t station = 0;      ///< which station serves this class
-  double service_mean = 1.0;    ///< exponential mean
+  double service_mean = 1.0;    ///< exponential mean (ignored if `service`)
   /// Next class on the route (kExit to leave the system).
   std::size_t next = SIZE_MAX;
   double arrival_rate = 0.0;    ///< external Poisson arrivals (0 = none)
@@ -50,12 +53,22 @@ struct NetworkClass {
   /// batch); when set it replaces the Poisson(arrival_rate) default and
   /// `arrival->rate()` is the class's effective external rate.
   ArrivalPtr arrival;
+  /// Optional non-exponential service law. When set it *replaces* the
+  /// exponential(service_mean) default entirely: `service_mean` is ignored
+  /// and `service->mean()` is the class's effective mean. When null,
+  /// services are exponential — the historical construction path,
+  /// bit-identical to the pre-DistPtr simulator on a fixed seed.
+  DistPtr service;
 
   static constexpr std::size_t kExit = SIZE_MAX;
 };
 
 /// Effective external arrival rate of a network class.
 double network_class_rate(const NetworkClass& c);
+
+/// Effective mean service time of a network class: `service->mean()` when a
+/// law is attached, `service_mean` otherwise.
+double network_class_service_mean(const NetworkClass& c);
 
 /// The external arrival process the simulator actually runs for a class:
 /// the attached process, or Poisson(arrival_rate) when none is set (null

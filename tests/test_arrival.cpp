@@ -148,6 +148,36 @@ TEST(Arrival, ScaledRenewalPreservesInterarrivalScv) {
   EXPECT_NEAR(scaled->burstiness(), 4.0, 1e-9);
 }
 
+TEST(Arrival, ScaledComposedTwiceMatchesOneStepScaling) {
+  // scaled() is a pure time rescaling, so composing two rescalings must be
+  // the same as one combined rescaling: rate multiplies through, the
+  // correlation structure (burstiness) and the process kind are untouched.
+  const std::vector<ArrivalPtr> processes{
+      poisson_arrivals(0.7),
+      renewal_arrivals(with_mean_scv(0.5, 4.0)),
+      bursty_arrivals(0.8, 9.0),
+      batch_arrivals_geometric(exponential_dist(1.0), 2.5)};
+  for (const auto& p : processes) {
+    const auto twice = p->scaled(2.0)->scaled(3.0);
+    const auto once = p->scaled(6.0);
+    EXPECT_NEAR(twice->rate(), once->rate(), 1e-9 * once->rate())
+        << p->kind();
+    EXPECT_NEAR(twice->rate(), 6.0 * p->rate(), 1e-9 * p->rate());
+    EXPECT_NEAR(twice->burstiness(), p->burstiness(), 1e-9) << p->kind();
+    EXPECT_STREQ(twice->kind(), p->kind());
+    // Sample-path check: long-run empirical rate of the composed process.
+    ArrivalState st;
+    Rng rng(515);
+    double t = 0.0;
+    double count = 0.0;
+    while (t < 4000.0) {
+      t += twice->next_gap(st, rng);
+      count += static_cast<double>(twice->batch_size(st, rng));
+    }
+    EXPECT_NEAR(count / t, twice->rate(), 0.05 * twice->rate()) << p->kind();
+  }
+}
+
 TEST(Arrival, InvalidParametersThrow) {
   EXPECT_THROW(poisson_arrivals(0.0), std::invalid_argument);
   EXPECT_THROW(renewal_arrivals(nullptr), std::invalid_argument);

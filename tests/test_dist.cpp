@@ -152,6 +152,35 @@ TEST(Distribution, WithMeanScvRejectsBadArguments) {
   EXPECT_THROW(with_mean_scv(1.0, -0.1), std::invalid_argument);
 }
 
+TEST(Distribution, WithMeanScvBoundaryInputs) {
+  // SCV exactly 1 must select the exponential law itself, not a degenerate
+  // mixture or hyperexponential.
+  const auto exp_fit = with_mean_scv(2.0, 1.0);
+  EXPECT_STREQ(exp_fit->name(), "exp");
+  EXPECT_NEAR(exp_fit->mean(), 2.0, 1e-12);
+  EXPECT_NEAR(exp_fit->scv(), 1.0, 1e-12);
+
+  // At SCV = 1/k the Erlang-mixture weight vanishes (pure Erlang-k); a hair
+  // below 1/k the fitter flips to the Erlang(k)/Erlang(k+1) mixture. Both
+  // sides of every threshold must still report the requested moments
+  // exactly — the radicand clamp is what this guards.
+  for (unsigned k = 2; k <= 6; ++k) {
+    const double at = 1.0 / static_cast<double>(k);
+    for (const double scv : {at, at - 1e-12, at + 1e-12}) {
+      const auto d = with_mean_scv(1.3, scv);
+      EXPECT_NEAR(d->mean(), 1.3, 1e-9) << "k " << k << " scv " << scv;
+      EXPECT_NEAR(d->scv(), scv, 1e-7) << "k " << k << " scv " << scv;
+    }
+  }
+
+  // Tiny means must come back relatively exact in every regime.
+  for (const double scv : {0.0, 0.3, 1.0, 4.0}) {
+    const auto d = with_mean_scv(1e-12, scv);
+    EXPECT_NEAR(d->mean(), 1e-12, 1e-21) << "scv " << scv;
+    EXPECT_NEAR(d->scv(), scv, 1e-7) << "scv " << scv;
+  }
+}
+
 TEST(Distribution, ScaledDistScalesTimeExactly) {
   const auto base = erlang_dist(3, 1.5);
   const auto d = scaled_dist(base, 2.0);

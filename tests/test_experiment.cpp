@@ -242,6 +242,7 @@ TEST(Scenarios, NewFamiliesRegistered) {
   EXPECT_FALSE(mmm_scenario_names().empty());
   EXPECT_FALSE(fluid_scenario_names().empty());
   EXPECT_FALSE(tree_scenario_names().empty());
+  EXPECT_FALSE(online_scenario_names().empty());
   EXPECT_THROW(network_scenario("no-such"), std::invalid_argument);
   EXPECT_NO_THROW(batch_scenario("turnpike"));
   EXPECT_NO_THROW(batch_scenario("t5-twopoint"));
@@ -256,6 +257,30 @@ TEST(Scenarios, NewFamiliesRegistered) {
     EXPECT_DOUBLE_EQ(a.jobs[i].weight, b.jobs[i].weight);
     EXPECT_DOUBLE_EQ(a.jobs[i].processing->mean(), b.jobs[i].processing->mean());
   }
+}
+
+TEST(Scenarios, NonPoissonConfigurationsReachableByName) {
+  // The bursty polling / parallel-server configurations the simulators
+  // already supported are now registered scenarios, and the heavy-tailed
+  // Lu–Kumar variant carries its service laws through the registry.
+  const PollingScenario& polling = polling_scenario("t11-bursty");
+  for (const auto& c : polling.classes) {
+    ASSERT_NE(c.arrival, nullptr);
+    EXPECT_NEAR(c.arrival->burstiness(), 6.0, 1e-9);
+  }
+  const MmmScenario& mmm = mmm_scenario("parallel-pooling-bursty");
+  EXPECT_NEAR(mmm.load(), 0.85, 1e-9);
+  for (const auto& c : mmm.classes) {
+    ASSERT_NE(c.arrival, nullptr);
+    EXPECT_NEAR(c.arrival->burstiness(), 6.0, 1e-9);
+  }
+  const NetworkScenario& ht = network_scenario("lu-kumar-ht");
+  ASSERT_NE(ht.config.classes[1].service, nullptr);
+  EXPECT_NEAR(ht.config.classes[1].service->scv(), 6.0, 1e-9);
+  // Heavy-tailed services keep the same nominal intensities as the base.
+  const auto rho = ht.intensities();
+  EXPECT_NEAR(rho[0], 0.01 + 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(rho[1], 2.0 / 3.0 + 0.01, 1e-9);
 }
 
 TEST(Scenarios, LuKumarIntensitiesSubcritical) {

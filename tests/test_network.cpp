@@ -53,6 +53,64 @@ TEST(Network, SubcriticalSafePrioritiesStable) {
   EXPECT_LT(trace.final_total, 200.0);
 }
 
+TEST(Network, ExponentialServiceLawBitIdenticalToDefaultPath) {
+  // The acceptance regression for DistPtr services: attaching an explicit
+  // exponential law with the same mean must reproduce the historical
+  // `service_mean` sample path bit-for-bit (identical draws, identical
+  // metrics) — the default path is the null-service case.
+  const auto base = lu_kumar_network(1.0, 0.01, 2.0 / 3.0, 0.01, 2.0 / 3.0,
+                                     /*bad_priority=*/true);
+  auto law = base;
+  for (auto& c : law.classes) c.service = exponential_dist(1.0 / c.service_mean);
+  Rng r1(7), r2(7);
+  const auto a = simulate_network(base, 4000.0, 20, r1);
+  const auto b = simulate_network(law, 4000.0, 20, r2);
+  EXPECT_DOUBLE_EQ(a.mean_total, b.mean_total);
+  EXPECT_DOUBLE_EQ(a.final_total, b.final_total);
+  EXPECT_DOUBLE_EQ(a.growth_rate, b.growth_rate);
+  ASSERT_EQ(a.total_jobs.size(), b.total_jobs.size());
+  for (std::size_t i = 0; i < a.total_jobs.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.total_jobs[i], b.total_jobs[i]);
+}
+
+TEST(Network, DeterministicServiceMatchesMd1ClosedForm) {
+  // One class, one station, deterministic service: the time-average number
+  // in system must match the M/D/1 Pollaczek–Khinchine value
+  // L = rho + rho^2 / (2 (1 - rho)).
+  NetworkConfig cfg;
+  cfg.num_stations = 1;
+  NetworkClass c;
+  c.station = 0;
+  c.service_mean = 99.0;  // must be ignored once a law is attached
+  c.service = deterministic_dist(0.5);
+  c.next = NetworkClass::kExit;
+  c.arrival_rate = 1.0;
+  cfg.classes = {c};
+  EXPECT_NEAR(station_intensities(cfg)[0], 0.5, 1e-12);
+  Rng rng(11);
+  const auto trace = simulate_network(cfg, 60000.0, 60, rng);
+  const double rho = 0.5;
+  const double expected = rho + rho * rho / (2.0 * (1.0 - rho));
+  EXPECT_NEAR(trace.mean_total, expected, 0.05);
+}
+
+TEST(Network, HeavyTailedServicesInflateBacklogUnderFcfs) {
+  // Same rates and means, SCV-6 services at the exit stages: the FCFS
+  // backlog must sit well above the exponential-service baseline (the
+  // PK-style variance penalty carried through the network path).
+  const auto base = lu_kumar_network(1.0, 0.01, 2.0 / 3.0, 0.01, 2.0 / 3.0,
+                                     /*bad_priority=*/false);
+  auto heavy = base;
+  heavy.classes[1].service = hyperexp2_dist(2.0 / 3.0, 6.0);
+  heavy.classes[3].service = hyperexp2_dist(2.0 / 3.0, 6.0);
+  Rng r1(5), r2(5);
+  const auto light = simulate_network(base, 30000.0, 60, r1);
+  const auto ht = simulate_network(heavy, 30000.0, 60, r2);
+  EXPECT_GT(ht.mean_total, 1.5 * light.mean_total);
+  // Still stable: no linear growth.
+  EXPECT_LT(std::abs(ht.growth_rate), 5e-3);
+}
+
 TEST(Network, ValidationCatchesCrossStationPriority) {
   auto cfg = lu_kumar_network(1.0, 0.1, 0.5, 0.1, 0.5, true);
   cfg.station_priority[0] = {3, 0};

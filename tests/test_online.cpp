@@ -1,0 +1,332 @@
+// Tests for src/online/ — stochastic online scheduling:
+//   * model contracts: environment factories, type validation, instance
+//     generation determinism and rate;
+//   * lower-bound validity: the combined release / mean-busy-time /
+//     interval-LP bound never exceeds the brute-forced offline optimum on
+//     tiny instances, is exact for single-machine WSPT without releases,
+//     and is dominated by every policy's realized cost path by path;
+//   * policy behavior: greedy WSEPT beats random assignment on the
+//     unrelated-machine scenario;
+//   * CRN under online workloads: arms replaying the same substreams face
+//     identical instances, enforced as a >= 2x paired-variance cut;
+//   * scenario registry + sweep helpers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "experiment/adapters.hpp"
+#include "experiment/engine.hpp"
+#include "experiment/scenario.hpp"
+#include "online/lower_bound.hpp"
+#include "online/model.hpp"
+#include "online/policies.hpp"
+#include "online/simulate.hpp"
+#include "util/rng.hpp"
+
+namespace stosched {
+namespace {
+
+using experiment::OnlineScenario;
+using online::Environment;
+using online::JobType;
+using online::OfflineBound;
+using online::OfflineBoundOptions;
+using online::OnlineInstance;
+using online::OnlineJob;
+
+// ---------------------------------------------------------------------------
+// Model contracts.
+// ---------------------------------------------------------------------------
+
+TEST(OnlineModel, EnvironmentFactoriesAndValidation) {
+  const auto ident = online::identical_machines(3, 2);
+  EXPECT_EQ(ident.machines(), 3u);
+  EXPECT_DOUBLE_EQ(ident.proc_time(1, 0, 2.0), 2.0);
+
+  const auto related = online::related_machines({1.0, 2.0}, 2);
+  EXPECT_DOUBLE_EQ(related.proc_time(1, 1, 3.0), 1.5);
+
+  const auto unrelated = online::unrelated_machines({{2.0, 0.5}, {0.5, 2.0}});
+  EXPECT_DOUBLE_EQ(unrelated.proc_time(0, 1, 1.0), 2.0);
+
+  EXPECT_THROW(online::identical_machines(0, 1), std::invalid_argument);
+  EXPECT_THROW(online::related_machines({1.0, 0.0}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(online::unrelated_machines({{1.0}, {1.0, 2.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      online::validate_types({{0.5, 1.0, exponential_dist(1.0)}}),
+      std::invalid_argument);  // probabilities must sum to 1
+}
+
+std::vector<JobType> two_type_mix() {
+  return {{0.6, 2.0, exponential_dist(1.0)},
+          {0.4, 1.0, erlang_dist(2, 4.0)}};
+}
+
+TEST(OnlineModel, GenerateInstanceIsDeterministicSortedAndRateCorrect) {
+  const auto types = two_type_mix();
+  const auto arrival = poisson_arrivals(2.0);
+  const Rng master(17);
+  Rng a0 = master.stream(0), a1 = master.stream(1), a2 = master.stream(2),
+      a3 = master.stream(3);
+  Rng b0 = master.stream(0), b1 = master.stream(1), b2 = master.stream(2),
+      b3 = master.stream(3);
+  const auto x =
+      online::generate_online_instance(*arrival, types, 4000.0, a0, a1, a2, a3);
+  const auto y =
+      online::generate_online_instance(*arrival, types, 4000.0, b0, b1, b2, b3);
+  ASSERT_EQ(x.size(), y.size());
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    EXPECT_DOUBLE_EQ(x[j].release, y[j].release);
+    EXPECT_EQ(x[j].type, y[j].type);
+    EXPECT_DOUBLE_EQ(x[j].size, y[j].size);
+    EXPECT_DOUBLE_EQ(x[j].sample, y[j].sample);
+    if (j > 0) {
+      EXPECT_LE(x[j - 1].release, x[j].release);
+    }
+    EXPECT_DOUBLE_EQ(x[j].weight, types[x[j].type].weight);
+  }
+  EXPECT_NEAR(static_cast<double>(x.size()) / 4000.0, 2.0, 0.1);
+  // Mix frequencies track the type probabilities.
+  const auto type0 = static_cast<double>(
+      std::count_if(x.begin(), x.end(),
+                    [](const OnlineJob& j) { return j.type == 0; }));
+  EXPECT_NEAR(type0 / static_cast<double>(x.size()), 0.6, 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Lower-bound validity.
+// ---------------------------------------------------------------------------
+
+/// Realized cost of serving `jobs` on one machine in the given order,
+/// idling only when forced by releases (the cheapest schedule of an order).
+double order_cost(const OnlineInstance& inst, const Environment& env,
+                  const std::vector<std::size_t>& jobs, std::size_t machine) {
+  double t = 0.0, cost = 0.0;
+  for (const std::size_t j : jobs) {
+    t = std::max(t, inst[j].release) +
+        env.proc_time(machine, inst[j].type, inst[j].size);
+    cost += inst[j].weight * t;
+  }
+  return cost;
+}
+
+/// Exact offline optimum by enumerating every assignment and, per machine,
+/// every processing order (machines decouple once the assignment is fixed).
+double brute_force_opt(const OnlineInstance& inst, const Environment& env) {
+  const std::size_t n = inst.size(), m = env.machines();
+  std::vector<std::size_t> assign(n, 0);
+  double best = std::numeric_limits<double>::infinity();
+  for (;;) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      std::vector<std::size_t> mine;
+      for (std::size_t j = 0; j < n; ++j)
+        if (assign[j] == i) mine.push_back(j);
+      if (mine.empty()) continue;
+      double machine_best = std::numeric_limits<double>::infinity();
+      std::sort(mine.begin(), mine.end());
+      do {
+        machine_best = std::min(machine_best, order_cost(inst, env, mine, i));
+      } while (std::next_permutation(mine.begin(), mine.end()));
+      total += machine_best;
+    }
+    best = std::min(best, total);
+    // Next assignment in base-m counting order.
+    std::size_t j = 0;
+    while (j < n && ++assign[j] == m) assign[j++] = 0;
+    if (j == n) break;
+  }
+  return best;
+}
+
+TEST(OnlineLowerBound, NeverExceedsBruteForceOptimum) {
+  const auto env = online::unrelated_machines({{2.0, 0.6}, {0.7, 1.8}});
+  const std::vector<JobType> types{{0.5, 1.0, exponential_dist(1.0)},
+                                   {0.5, 1.0, exponential_dist(1.0)}};
+  Rng rng(31);
+  OfflineBoundOptions opt;
+  opt.use_lp = true;
+  for (int trial = 0; trial < 30; ++trial) {
+    OnlineInstance inst;
+    const std::size_t n = 3 + rng.below(4);  // 3..6 jobs
+    double t = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      OnlineJob job;
+      t += rng.uniform(0.0, 1.2);
+      job.release = t;
+      job.type = rng.below(2);
+      job.weight = rng.uniform(0.5, 3.0);
+      job.size = rng.uniform(0.2, 2.5);
+      job.sample = job.size;
+      inst.push_back(job);
+    }
+    const OfflineBound lb = online::offline_lower_bound(inst, env, types, opt);
+    const double opt_cost = brute_force_opt(inst, env);
+    EXPECT_LE(lb.value, opt_cost * (1.0 + 1e-9))
+        << "trial " << trial << ": bound " << lb.value << " exceeds optimum "
+        << opt_cost;
+    // The LP contains the release-bound constraints, so it can only tighten.
+    EXPECT_GE(lb.lp_bound, lb.release_bound - 1e-9);
+    EXPECT_DOUBLE_EQ(
+        lb.value, std::max({lb.release_bound, lb.busy_bound, lb.lp_bound}));
+  }
+}
+
+TEST(OnlineLowerBound, ExactForSingleMachineWsptWithoutReleases) {
+  // m = 1, all releases 0: the mean-busy-time bound equals the WSPT cost,
+  // which is the exact optimum (Smith's rule).
+  const auto env = online::identical_machines(1, 1);
+  const std::vector<JobType> types{{1.0, 1.0, exponential_dist(1.0)}};
+  OnlineInstance inst;
+  const std::vector<double> sizes{2.0, 0.5, 1.5, 1.0};
+  const std::vector<double> weights{1.0, 3.0, 2.0, 0.5};
+  for (std::size_t j = 0; j < sizes.size(); ++j)
+    inst.push_back({0.0, 0, weights[j], sizes[j], sizes[j]});
+
+  std::vector<std::size_t> order(inst.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return weights[a] / sizes[a] > weights[b] / sizes[b];
+  });
+  const double wspt_cost = order_cost(inst, env, order, 0);
+  const OfflineBound lb = online::offline_lower_bound(inst, env, types);
+  EXPECT_NEAR(lb.busy_bound, wspt_cost, 1e-9);
+  EXPECT_NEAR(lb.value, wspt_cost, 1e-9);
+}
+
+TEST(OnlineLowerBound, EveryPolicyRunStaysAboveTheBound) {
+  // ratio >= 1 path by path: the policy's schedule is feasible offline.
+  const OnlineScenario s = experiment::online_scenario("online-unrelated");
+  experiment::EngineOptions opt;
+  opt.seed = 5;
+  opt.max_replications = 48;
+  for (const auto& policy : experiment::online_policy_arms()) {
+    const auto res = experiment::run_online(s, *policy, opt);
+    EXPECT_GE(res.metrics[0].min(), 1.0 - 1e-9) << policy->name();
+    EXPECT_GT(res.metrics[2].mean(), 0.0);  // lower bound is positive
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Simulator + policies.
+// ---------------------------------------------------------------------------
+
+TEST(OnlineSim, ReplicationIsDeterministic) {
+  const OnlineScenario s = experiment::online_scenario("online-bernoulli");
+  const auto greedy = online::greedy_wsept_policy();
+  std::vector<double> a(online::online_metric_count()),
+      b(online::online_metric_count());
+  Rng r1(99), r2(99);
+  experiment::run_replication(s, *greedy, r1, a);
+  experiment::run_replication(s, *greedy, r2, b);
+  for (std::size_t d = 0; d < a.size(); ++d) EXPECT_DOUBLE_EQ(a[d], b[d]);
+}
+
+TEST(OnlineSim, SingleMachineServesInWseptOrder) {
+  // Two jobs arrive while the machine is busy; the higher-index one (w/E[p])
+  // must be served first even though it arrived second.
+  const auto env = online::identical_machines(1, 2);
+  const std::vector<JobType> types{{0.5, 1.0, deterministic_dist(1.0)},
+                                   {0.5, 4.0, deterministic_dist(1.0)}};
+  OnlineInstance inst;
+  inst.push_back({0.0, 0, 1.0, 4.0, 4.0});  // occupies the machine to t=4
+  inst.push_back({1.0, 0, 1.0, 1.0, 1.0});  // low index (1 per unit)
+  inst.push_back({2.0, 1, 4.0, 1.0, 1.0});  // high index (4 per unit)
+  const auto greedy = online::greedy_wsept_policy();
+  Rng rng(1);
+  const auto res =
+      online::simulate_online(inst, env, types, *greedy, rng);
+  // Completions: job 0 at 4, job 2 (overtakes) at 5, job 1 at 6.
+  EXPECT_NEAR(res.weighted_completion, 1.0 * 4.0 + 4.0 * 5.0 + 1.0 * 6.0,
+              1e-12);
+  EXPECT_NEAR(res.makespan, 6.0, 1e-12);
+  EXPECT_EQ(res.jobs, 3u);
+}
+
+TEST(OnlinePolicies, GreedyBeatsRandomOnUnrelatedMachines) {
+  const OnlineScenario s = experiment::online_scenario("online-unrelated");
+  experiment::EngineOptions opt;
+  opt.seed = 404;
+  opt.max_replications = 64;
+  const auto cmp = experiment::compare_online_policies(
+      s, experiment::online_policy_arms(), opt,
+      experiment::Pairing::kCommonRandomNumbers);
+  // diff[2] = random − greedy on the ratio metric; the separation should be
+  // many standard errors wide on the specialist environment.
+  EXPECT_GT(cmp.diff[2][0].mean(), 4.0 * cmp.diff[2][0].sem());
+}
+
+TEST(OnlinePolicies, CrnCutsDifferenceVarianceOnOnlinePair) {
+  // The CRN acceptance regression for the online subsystem: comparing
+  // greedy WSEPT against random assignment, common random numbers must cut
+  // the variance of the cost difference by >= 2x versus independent
+  // streams — i.e. both arms face the identical realized instance.
+  OnlineScenario s = experiment::online_scenario("online-unrelated");
+  s.horizon = 25.0;
+  const std::vector<online::OnlinePolicyPtr> arms{
+      online::greedy_wsept_policy(), online::random_assignment_policy()};
+  experiment::EngineOptions opt;
+  opt.seed = 2028;
+  opt.max_replications = 96;
+  const auto crn = experiment::compare_online_policies(
+      s, arms, opt, experiment::Pairing::kCommonRandomNumbers);
+  const auto ind = experiment::compare_online_policies(
+      s, arms, opt, experiment::Pairing::kIndependentStreams);
+  const double var_crn = crn.diff[0][1].variance();  // weighted completion
+  const double var_ind = ind.diff[0][1].variance();
+  ASSERT_GT(var_ind, 0.0);
+  EXPECT_LE(2.0 * var_crn, var_ind)
+      << "CRN variance " << var_crn << " vs independent " << var_ind;
+  EXPECT_NEAR(crn.diff[0][1].mean(), ind.diff[0][1].mean(),
+              4.0 * (crn.diff[0][1].sem() + ind.diff[0][1].sem()));
+}
+
+// ---------------------------------------------------------------------------
+// Scenario registry + sweeps.
+// ---------------------------------------------------------------------------
+
+TEST(OnlineScenarios, RegistryResolvesTheCatalogue) {
+  const auto names = experiment::online_scenario_names();
+  for (const char* expected :
+       {"online-identical", "online-unrelated", "online-bursty",
+        "online-bernoulli"})
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  EXPECT_THROW(experiment::online_scenario("no-such"), std::invalid_argument);
+
+  const OnlineScenario& ident = experiment::online_scenario("online-identical");
+  EXPECT_NEAR(ident.load(), 0.75, 1e-9);
+  const OnlineScenario& bursty = experiment::online_scenario("online-bursty");
+  EXPECT_NEAR(bursty.arrival->burstiness(), 6.0, 1e-9);
+  EXPECT_NEAR(bursty.load(),
+              experiment::online_scenario("online-unrelated").load(), 1e-9);
+}
+
+TEST(OnlineScenarios, SweepHelpersPreserveStructure) {
+  const OnlineScenario base = experiment::online_scenario("online-identical");
+
+  const OnlineScenario loaded = experiment::scale_to_load(base, 0.9);
+  EXPECT_NEAR(loaded.load(), 0.9, 1e-9);
+  EXPECT_NEAR(loaded.arrival->burstiness(), base.arrival->burstiness(), 1e-9);
+
+  const OnlineScenario wide = experiment::with_machines(base, 6);
+  EXPECT_EQ(wide.env.machines(), 6u);
+  EXPECT_NEAR(wide.load(), base.load(), 1e-9);
+
+  const OnlineScenario scv = experiment::with_size_scv(base, 4.0);
+  for (std::size_t t = 0; t < base.types.size(); ++t) {
+    EXPECT_NEAR(scv.types[t].size->mean(), base.types[t].size->mean(), 1e-9);
+    EXPECT_NEAR(scv.types[t].size->scv(), 4.0, 1e-9);
+  }
+  EXPECT_NEAR(scv.load(), base.load(), 1e-9);
+}
+
+}  // namespace
+}  // namespace stosched

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Accumulate STOSCHED_BENCH_JSON results into a cross-commit history file.
+
+`bench_compare.py` diffs exactly two commits; this tool gives the bench
+trajectory *depth*: every run appends one JSON line per bench to a
+history file (bench/history.jsonl by convention, carried forward by the CI
+artifact), so drift is visible over any window, not just one commit back.
+
+Each line is a compact summary of one (commit, bench) pair:
+
+  {"commit": ..., "bench": ..., "wall_seconds": ..., "passed": ...,
+   "arrival": {...}, "verdicts": {what: pass, ...},
+   "metrics": {column: [numeric cells in row order], ...}}
+
+Only numeric cells are kept (label columns are dropped), so a metric's
+trajectory across commits is `[line["metrics"][col] for line in lines]`.
+Appending is idempotent per (commit, bench): re-running on the same commit
+replaces nothing and adds nothing.
+
+Usage:
+  bench_history.py --history bench/history.jsonl --commit SHA BENCH_*.json...
+  bench_history.py --history bench/history.jsonl --summary [--tail N]
+
+Stdlib only — no third-party dependencies.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_bench(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    for key in ("bench", "columns", "rows", "verdicts"):
+        if key not in doc:
+            raise SystemExit(f"{path}: not a STOSCHED_BENCH_JSON file "
+                             f"(missing '{key}')")
+    return doc
+
+
+def load_history(path):
+    if not os.path.exists(path):
+        return []
+    lines = []
+    with open(path, "r", encoding="utf-8") as f:
+        for i, raw in enumerate(f):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                lines.append(json.loads(raw))
+            except json.JSONDecodeError as e:
+                raise SystemExit(f"{path}:{i + 1}: bad history line: {e}")
+    return lines
+
+
+def summarize(doc, commit):
+    """One history line: numeric columns only, keyed by column name."""
+    metrics = {}
+    for c, col in enumerate(doc["columns"]):
+        values = []
+        numeric = False
+        for row in doc["rows"]:
+            cell = row[c] if c < len(row) else None
+            if isinstance(cell, (int, float)) and not isinstance(cell, bool):
+                values.append(cell)
+                numeric = True
+            else:
+                values.append(None)
+        if numeric:
+            metrics[col] = values
+    return {
+        "commit": commit,
+        "bench": doc["bench"],
+        "wall_seconds": doc.get("wall_seconds"),
+        "passed": doc.get("passed"),
+        "arrival": doc.get("arrival"),
+        "verdicts": {v["what"]: v["pass"] for v in doc["verdicts"]},
+        "metrics": metrics,
+    }
+
+
+def append(history_path, commit, bench_files):
+    lines = load_history(history_path)
+    seen = {(ln.get("commit"), ln.get("bench")) for ln in lines}
+    added = 0
+    os.makedirs(os.path.dirname(history_path) or ".", exist_ok=True)
+    with open(history_path, "a", encoding="utf-8") as f:
+        for path in bench_files:
+            line = summarize(load_bench(path), commit)
+            key = (line["commit"], line["bench"])
+            if key in seen:
+                print(f"  skip (already recorded): {line['bench']}")
+                continue
+            f.write(json.dumps(line, sort_keys=True) + "\n")
+            seen.add(key)
+            added += 1
+            print(f"  append: {line['bench']} @ {commit[:12]}")
+    total = len(lines) + added
+    print(f"history: {history_path}: +{added} line(s), {total} total")
+
+
+def show_summary(history_path, tail):
+    lines = load_history(history_path)
+    if not lines:
+        print(f"history: {history_path}: empty")
+        return
+    by_bench = {}
+    for ln in lines:
+        by_bench.setdefault(ln.get("bench", "<unnamed>"), []).append(ln)
+    for bench in sorted(by_bench):
+        entries = by_bench[bench][-tail:]
+        print(f"== {bench} ({len(by_bench[bench])} commit(s))")
+        for ln in entries:
+            commit = (ln.get("commit") or "?")[:12]
+            wall = ln.get("wall_seconds")
+            wall_s = f"{wall:.3f}s" if isinstance(wall, (int, float)) else "?"
+            verdicts = ln.get("verdicts", {})
+            failed = [w for w, ok in verdicts.items() if not ok]
+            status = "PASS" if not failed else f"FAIL({len(failed)})"
+            print(f"  {commit}  wall {wall_s:>9}  {status}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("bench_files", nargs="*", help="BENCH_*.json files")
+    ap.add_argument("--history", required=True,
+                    help="history JSONL file to append to / read")
+    ap.add_argument("--commit", help="commit SHA the bench files belong to")
+    ap.add_argument("--summary", action="store_true",
+                    help="print the per-bench trajectory instead of appending")
+    ap.add_argument("--tail", type=int, default=10,
+                    help="entries per bench in --summary (default 10)")
+    args = ap.parse_args()
+
+    if args.summary:
+        show_summary(args.history, args.tail)
+        return 0
+    if not args.commit:
+        ap.error("--commit is required when appending")
+    if not args.bench_files:
+        ap.error("no bench files to append")
+    append(args.history, args.commit, args.bench_files)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

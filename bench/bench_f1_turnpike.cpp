@@ -24,9 +24,14 @@ int main() {
   const unsigned m = 3;
   Rng master(4242);
 
+  // Both panels share one table (and one bench_common::finish exit) so the
+  // JSON mirror — and with it bench_history.jsonl — carries every row and
+  // verdict of the experiment. The "baseline" column is the DP optimum in
+  // the exact panel and the fast-machine lower bound in the scaling panel.
+  Table table("F1: WSEPT turnpike optimality on parallel machines (m=3)");
+  table.columns({"panel", "n", "WSEPT", "baseline", "rel gap"});
+
   // Panel (a): exact absolute gaps on exponential instances.
-  Table exact("F1a: WSEPT absolute gap vs DP optimum (m=3, exponential)");
-  exact.columns({"n", "WSEPT (exact)", "OPT (DP)", "abs gap", "rel gap"});
   double first_gap = 0.0, last_gap = 0.0;
   for (const std::size_t n : {4u, 6u, 8u, 10u, 12u}) {
     Rng rng = master.stream(n);
@@ -44,13 +49,12 @@ int main() {
     const double gap = wsept - opt;
     if (n == 4) first_gap = gap;
     last_gap = gap;
-    exact.add_row({std::to_string(n), fmt(wsept), fmt(opt), fmt(gap, 5),
+    table.add_row({"exact-vs-DP", std::to_string(n), fmt(wsept), fmt(opt),
                    fmt_pct(gap / opt)});
   }
-  exact.note("absolute gap does not grow with n (turnpike property)");
-  exact.verdict(last_gap < std::max(0.25, 4.0 * first_gap + 0.2),
+  table.note("panel a: absolute gap does not grow with n (turnpike property)");
+  table.verdict(last_gap < std::max(0.25, 4.0 * first_gap + 0.2),
                 "absolute gap stays bounded as n grows");
-  exact.print(std::cout);
 
   // Panel (b): large-n relative gap against the *fast-single-machine*
   // relaxation: a speed-m machine can processor-share the <= m jobs any
@@ -58,8 +62,6 @@ int main() {
   // fast machine's preemptive optimum lower-bounds every m-machine policy;
   // with exponential jobs that optimum is the WSEPT index policy, whose
   // value is the exact single-machine WSEPT objective divided by m.
-  Table scale("F1b: WSEPT vs fast-machine relaxation, relative gap -> 0 (m=3)");
-  scale.columns({"n", "WSEPT (sim)", "lower bound (exact)", "rel gap"});
   double last_rel = 1.0;
   bool decreasing = true;
   double prev_rel = 1e9;
@@ -82,13 +84,12 @@ int main() {
     decreasing = decreasing && rel < prev_rel + 0.005;
     prev_rel = rel;
     last_rel = rel;
-    scale.add_row({std::to_string(n), fmt(mean, 1), fmt(lb, 1),
+    table.add_row({"sim-vs-LB", std::to_string(n), fmt(mean, 1), fmt(lb, 1),
                    fmt_pct(rel)});
   }
-  scale.note("relative gap vanishing == asymptotic optimality of Smith's rule");
-  scale.note("engine: sequential precision on the simulated WSEPT mean");
-  scale.verdict(decreasing && last_rel < 0.02,
+  table.note("panel b: vanishing relative gap == asymptotic optimality");
+  table.note("engine: sequential precision on the simulated WSEPT mean");
+  table.verdict(decreasing && last_rel < 0.02,
                 "relative gap decreases toward 0 as n grows");
-  scale.print(std::cout);
-  return exact.all_checks_passed() && scale.all_checks_passed() ? 0 : 1;
+  return bench::finish(table);
 }

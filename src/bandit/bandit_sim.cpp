@@ -138,6 +138,14 @@ double simulate_index_policy(const BanditInstance& inst,
                              double trunc_eps) {
   STOSCHED_REQUIRE(table.size() == inst.projects.size(),
                    "index table must cover all projects");
+  // Per-project transition substreams off a bootstrap root: each arm's
+  // chain consumes only its own stream, so index-policy variants replaying
+  // the same caller stream keep untouched arms on identical trajectories.
+  const Rng root(rng());
+  std::vector<Rng> trans_rng;
+  trans_rng.reserve(inst.projects.size());
+  for (std::size_t j = 0; j < inst.projects.size(); ++j)
+    trans_rng.push_back(root.stream(j));
   std::vector<std::size_t> states = start;
   double discount = 1.0;
   double total = 0.0;
@@ -153,8 +161,8 @@ double simulate_index_policy(const BanditInstance& inst,
     }
     const auto& proj = inst.projects[best];
     total += discount * proj.reward[states[best]];
-    states[best] = rng.categorical(proj.trans[states[best]].data(),
-                                   proj.num_states());
+    states[best] = trans_rng[best].categorical(proj.trans[states[best]].data(),
+                                               proj.num_states());
     discount *= inst.beta;
   }
   return total;

@@ -33,10 +33,15 @@ ScheduleOutcome schedule_realization(const std::vector<double>& times,
 
 ScheduleOutcome simulate_list_policy(const Batch& jobs, const Order& order,
                                      unsigned machines, Rng& rng) {
+  // Per-job size substreams off a bootstrap root: the realized batch is a
+  // function of the caller's stream alone, not of the order argument, so
+  // CRN policy arms dispatch the identical workload.
+  const Rng root(rng());
   std::vector<double> times(jobs.size());
   std::vector<double> weights(jobs.size());
   for (std::size_t j = 0; j < jobs.size(); ++j) {
-    times[j] = jobs[j].processing->sample(rng);
+    Rng size_rng = root.stream(j);
+    times[j] = jobs[j].processing->sample(size_rng);
     weights[j] = jobs[j].weight;
   }
   return schedule_realization(times, weights, order, machines);

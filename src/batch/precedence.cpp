@@ -76,6 +76,12 @@ double simulate_tree_makespan(const InTree& tree, unsigned machines,
     return job;
   };
 
+  // Per-job service substreams off a bootstrap root: job i's realized
+  // duration is fixed by the caller's stream alone, independent of when the
+  // policy starts it, so CRN policy arms (HLF vs arbitrary) process the
+  // identical realized tree.
+  const Rng root(rng());
+
   // running: (finish_time, job). Linear scans; m is small.
   std::vector<std::pair<double, std::size_t>> running;
   double clock = 0.0;
@@ -84,7 +90,8 @@ double simulate_tree_makespan(const InTree& tree, unsigned machines,
   while (completed < n) {
     while (running.size() < machines && !eligible.empty()) {
       const std::size_t job = pick();
-      running.emplace_back(clock + rng.exponential(rate), job);
+      Rng service_rng = root.stream(job);
+      running.emplace_back(clock + service_rng.exponential(rate), job);
     }
     STOSCHED_ASSERT(!running.empty(), "deadlock: nothing running or eligible");
     std::size_t next = 0;

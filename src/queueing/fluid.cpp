@@ -124,6 +124,15 @@ std::vector<std::vector<double>> simulate_backlog_path(
   STOSCHED_REQUIRE(std::is_sorted(sample_times.begin(), sample_times.end()),
                    "sample times must be sorted");
 
+  // Per-purpose substreams off a bootstrap root (the CRN discipline shared
+  // by every event-driven simulator): the competing-clock holding times and
+  // the which-clock-fired selector draw from separate named streams, so
+  // priority arms replaying the same caller stream see maximally aligned
+  // event skeletons.
+  const Rng root(rng());
+  Rng clock_rng = root.stream(0);
+  Rng select_rng = root.stream(1);
+
   std::vector<long> q(n);
   for (std::size_t j = 0; j < n; ++j) q[j] = static_cast<long>(initial[j]);
 
@@ -159,13 +168,13 @@ std::vector<std::vector<double>> simulate_backlog_path(
       record_until(t_end);
       break;
     }
-    const double dt = rng.exponential(total_rate);
+    const double dt = clock_rng.exponential(total_rate);
     record_until(std::min(now + dt, t_end));
     now += dt;
     if (now > t_end) break;
 
     // Which clock fired?
-    double u = rng.uniform() * total_rate;
+    double u = select_rng.uniform() * total_rate;
     bool handled = false;
     for (std::size_t j = 0; j < n; ++j) {
       u -= classes[j].lambda;

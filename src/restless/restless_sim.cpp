@@ -37,6 +37,14 @@ double simulate_priority_policy(const RestlessInstance& inst,
   STOSCHED_REQUIRE(priority.size() == inst.projects.size(),
                    "priority table must cover all projects");
   const std::size_t n = inst.projects.size();
+  // Per-project transition substreams off a bootstrap root: project j's
+  // chain consumes only its own stream, so a CRN comparison against
+  // simulate_random_policy (which uses the same layout) keeps project
+  // trajectories aligned wherever the action sequences agree.
+  const Rng root(rng());
+  std::vector<Rng> trans_rng;
+  trans_rng.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) trans_rng.push_back(root.stream(j));
   std::vector<std::size_t> state(n, 0);
   std::vector<double> score(n, 0.0);
   std::vector<char> active(n, 0);
@@ -56,7 +64,7 @@ double simulate_priority_policy(const RestlessInstance& inst,
       if (t >= burnin) total += r;
       const auto& row =
           active[j] ? p.trans_active[state[j]] : p.trans_passive[state[j]];
-      state[j] = rng.categorical(row.data(), row.size());
+      state[j] = trans_rng[j].categorical(row.data(), row.size());
     }
   }
   return total / static_cast<double>(horizon);
@@ -74,6 +82,14 @@ double simulate_random_policy(const RestlessInstance& inst,
                               Rng& rng) {
   inst.validate();
   const std::size_t n = inst.projects.size();
+  // Same substream layout as simulate_priority_policy (per-project
+  // transition streams 0..n-1) plus a dedicated selection stream at n, so
+  // CRN comparisons between the two policies share project randomness.
+  const Rng root(rng());
+  std::vector<Rng> trans_rng;
+  trans_rng.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) trans_rng.push_back(root.stream(j));
+  Rng select_rng = root.stream(n);
   std::vector<std::size_t> state(n, 0);
   std::vector<std::size_t> perm(n);
   std::iota(perm.begin(), perm.end(), std::size_t{0});
@@ -82,7 +98,7 @@ double simulate_random_policy(const RestlessInstance& inst,
   for (std::size_t t = 0; t < burnin + horizon; ++t) {
     // Partial Fisher–Yates: the first m entries form a random m-subset.
     for (std::size_t i = 0; i < inst.activate; ++i) {
-      const std::size_t j = i + rng.below(n - i);
+      const std::size_t j = i + select_rng.below(n - i);
       std::swap(perm[i], perm[j]);
     }
     for (std::size_t j = 0; j < n; ++j) {
@@ -95,7 +111,7 @@ double simulate_random_policy(const RestlessInstance& inst,
       if (t >= burnin) total += r;
       const auto& row =
           act ? p.trans_active[state[j]] : p.trans_passive[state[j]];
-      state[j] = rng.categorical(row.data(), row.size());
+      state[j] = trans_rng[j].categorical(row.data(), row.size());
     }
   }
   return total / static_cast<double>(horizon);

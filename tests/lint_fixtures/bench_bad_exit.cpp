@@ -1,0 +1,14 @@
+// lint fixture: violates bench-finish — a table-driven bench that never
+// routes its exit through bench_common::finish, so no JSON mirror is ever
+// written and bench_history.jsonl silently loses the bench. Never compiled.
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  stosched::Table table("fixture: hand-rolled exit");
+  table.columns({"x"});
+  table.add_row({"1"});
+  table.verdict(true, "trivially true");
+  table.print(std::cout);
+  return table.all_checks_passed() ? 0 : 1;
+}

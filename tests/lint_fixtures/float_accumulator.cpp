@@ -1,0 +1,8 @@
+// lint fixture: violates float-accumulator — a statistics path accumulating
+// in single precision, which loses ~7 significant digits over 10^8-event
+// runs. Never compiled.
+float running_mean(const float* xs, int n) {
+  float total = 0.0f;
+  for (int i = 0; i < n; ++i) total += xs[i];
+  return total / static_cast<float>(n);
+}

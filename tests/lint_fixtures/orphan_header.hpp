@@ -1,0 +1,7 @@
+// lint fixture: violates umbrella-header — a src/ header that no include
+// chain starting at core/stosched.hpp ever reaches. Never compiled.
+#pragma once
+
+namespace stosched {
+inline int lint_fixture_orphan() { return 42; }
+}  // namespace stosched

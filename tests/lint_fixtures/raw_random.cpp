@@ -1,0 +1,11 @@
+// lint fixture: violates raw-random — randomness drawn from <random>
+// machinery instead of util/Rng substreams. Never compiled; consumed by
+// tools/test_lint_stosched.py.
+#include <random>
+
+double bad_draw() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  return u(gen);
+}

@@ -1,0 +1,15 @@
+// lint fixture: violates substream-discipline — a simulate_* function that
+// draws directly on the caller's Rng (and samples a distribution from it)
+// instead of deriving named per-purpose substreams. Never compiled.
+#include "dist/distribution.hpp"
+#include "util/rng.hpp"
+
+double simulate_bad_direct_draw(const stosched::dist::Distribution& size_law,
+                                int n, stosched::Rng& rng) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    total += rng.uniform();          // direct draw on the caller's stream
+    total += size_law.sample(rng);   // distribution sampled from it
+  }
+  return total;
+}

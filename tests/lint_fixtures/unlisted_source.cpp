@@ -1,0 +1,4 @@
+// lint fixture: violates cmake-coverage — a src/ translation unit absent
+// from the CMake library sources, so it would silently never build. Never
+// compiled.
+int lint_fixture_unlisted() { return 42; }

@@ -18,9 +18,17 @@ arrival blocks are refused outright (exit code 2) — a trajectory diff is
 only meaningful against the same traffic. Files written before the block
 existed are tolerated (treated as matching).
 
+With --exact the tool instead enforces bit-identical results: any numeric
+cell difference (at all), any verdict difference, or any row/column shape
+difference is fatal (exit 1). Wall-clock is ignored — it is the one field
+allowed to vary. This is the thread-count determinism gate: the same bench
+run under OMP_NUM_THREADS=1 and =8 must produce byte-equal metrics, because
+the engine's fixed 16-replication merge cells make results a pure function
+of (seed, replication count).
+
 Usage:
   bench_compare.py OLD.json NEW.json [--rel-tol 0.05] [--time-tol 0.25]
-                   [--fail-on-slowdown]
+                   [--fail-on-slowdown] [--exact]
 
 Stdlib only — no third-party dependencies.
 """
@@ -83,6 +91,35 @@ def compare_cells(old, new, rel_tol):
                 yield label, cols[c], a, b, drift
 
 
+def compare_exact(old, new):
+    """Byte-equality over everything except wall_seconds; the list of
+    mismatch descriptions is empty iff the two runs are bit-identical."""
+    problems = []
+    for key in ("bench", "columns", "arrival", "notes"):
+        if old.get(key) != new.get(key):
+            problems.append(f"'{key}' differs: {old.get(key)!r} "
+                            f"!= {new.get(key)!r}")
+    if old["verdicts"] != new["verdicts"]:
+        problems.append(f"verdicts differ: {old['verdicts']!r} "
+                        f"!= {new['verdicts']!r}")
+    if len(old["rows"]) != len(new["rows"]):
+        problems.append(f"row count differs: {len(old['rows'])} "
+                        f"!= {len(new['rows'])}")
+        return problems
+    cols = new.get("columns", [])
+    for i, (a_row, b_row) in enumerate(zip(old["rows"], new["rows"])):
+        if len(a_row) != len(b_row):
+            problems.append(f"row {i} ({row_label(a_row)}): cell count "
+                            f"differs")
+            continue
+        for c, (a, b) in enumerate(zip(a_row, b_row)):
+            if a != b:
+                col = cols[c] if c < len(cols) else f"col{c}"
+                problems.append(f"row {i} ({row_label(a_row)}) "
+                                f"[{col}]: {a!r} != {b!r}")
+    return problems
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("old")
@@ -94,9 +131,25 @@ def main():
     ap.add_argument("--fail-on-slowdown", action="store_true",
                     help="exit nonzero when wall clock regresses past "
                          "--time-tol")
+    ap.add_argument("--exact", action="store_true",
+                    help="determinism gate: fail on ANY difference except "
+                         "wall_seconds")
     args = ap.parse_args()
 
     old, new = load(args.old), load(args.new)
+
+    if args.exact:
+        problems = compare_exact(old, new)
+        print(f"bench: {new['bench']} (exact comparison)")
+        for p in problems:
+            print(f"  MISMATCH  {p}")
+        if problems:
+            print(f"\n{len(problems)} mismatch(es) — results are not "
+                  f"bit-identical")
+            return 1
+        print(f"  bit-identical: {len(new['rows'])} rows, "
+              f"{len(new['verdicts'])} verdicts")
+        return 0
     if old["bench"] != new["bench"]:
         print(f"warning: comparing different benches:\n  old: {old['bench']}"
               f"\n  new: {new['bench']}")

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lint_stosched.py (runnable via ctest or directly).
+
+Two halves:
+
+  * every rule is proven *live* by copying its deliberately-bad fixture from
+    tests/lint_fixtures/ into a minimal skeleton repo and asserting the rule
+    fires there (plus a negative control where the rule's exemption or a
+    conforming file must stay silent);
+  * the real tree is asserted clean under all rules, so the ctest leg fails
+    the moment drift is reintroduced.
+
+Stdlib only. Run: python3 tools/test_lint_stosched.py
+"""
+
+import shutil
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+TOOLS = Path(__file__).resolve().parent
+ROOT = TOOLS.parent
+FIXTURES = ROOT / "tests" / "lint_fixtures"
+
+sys.path.insert(0, str(TOOLS))
+import lint_stosched as lint  # noqa: E402
+
+
+class Skeleton:
+    """A throwaway minimal repo layout to drop one fixture into."""
+
+    def __init__(self):
+        self._tmp = tempfile.TemporaryDirectory(prefix="lint_skel_")
+        self.root = Path(self._tmp.name)
+        (self.root / "src" / "core").mkdir(parents=True)
+        (self.root / "src" / "util").mkdir(parents=True)
+        (self.root / "bench").mkdir()
+        (self.root / "tests").mkdir()
+        (self.root / "CMakeLists.txt").write_text(
+            "add_library(stosched STATIC\n  src/core/listed.cpp\n)\n",
+            encoding="utf-8")
+        (self.root / "src" / "core" / "listed.cpp").write_text(
+            "int listed() { return 0; }\n", encoding="utf-8")
+        (self.root / "src" / "core" / "stosched.hpp").write_text(
+            '#pragma once\n#include "util/ok.hpp"\n', encoding="utf-8")
+        (self.root / "src" / "util" / "ok.hpp").write_text(
+            "#pragma once\n", encoding="utf-8")
+
+    def add(self, fixture, dest):
+        target = self.root / dest
+        target.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copy(FIXTURES / fixture, target)
+        return target
+
+    def cleanup(self):
+        self._tmp.cleanup()
+
+
+class RuleFiresOnFixture(unittest.TestCase):
+    """Each rule must flag its bad fixture and stay silent on controls."""
+
+    def setUp(self):
+        self.skel = Skeleton()
+        self.addCleanup(self.skel.cleanup)
+
+    def run_rule(self, name):
+        return lint.RULES[name](self.skel.root)
+
+    def test_raw_random_fires(self):
+        self.skel.add("raw_random.cpp", "src/dist/raw_random.cpp")
+        found = self.run_rule("raw-random")
+        self.assertTrue(found, "raw-random must fire on the fixture")
+        self.assertTrue(all(v.rule == "raw-random" for v in found))
+        # <random>, random_device, mt19937 and the distribution adaptor are
+        # four distinct findings.
+        self.assertGreaterEqual(len(found), 4)
+
+    def test_raw_random_exempts_util(self):
+        self.skel.add("raw_random.cpp", "src/util/raw_random.cpp")
+        self.assertEqual(self.run_rule("raw-random"), [],
+                         "src/util/ owns the RNG and is exempt")
+
+    def test_substream_discipline_fires(self):
+        self.skel.add("substream_discipline.cpp",
+                      "src/queueing/substream_discipline.cpp")
+        found = self.run_rule("substream-discipline")
+        kinds = {v.message.split(" — ")[0] for v in found}
+        self.assertGreaterEqual(len(found), 2,
+                                "direct draw AND sample() must both fire")
+        self.assertTrue(any("direct draw" in k for k in kinds))
+        self.assertTrue(any("sampled from" in k for k in kinds))
+
+    def test_substream_discipline_accepts_bootstrap(self):
+        (self.skel.root / "src" / "queueing").mkdir(parents=True,
+                                                    exist_ok=True)
+        (self.skel.root / "src" / "queueing" / "good.cpp").write_text(
+            "double simulate_good(Rng& rng) {\n"
+            "  const Rng root(rng());\n"
+            "  Rng clock_rng = root.stream(0);\n"
+            "  return clock_rng.exponential(1.0);\n"
+            "}\n", encoding="utf-8")
+        self.assertEqual(self.run_rule("substream-discipline"), [],
+                         "the bootstrap + named-substream pattern is the "
+                         "conforming idiom")
+
+    def test_umbrella_header_fires(self):
+        self.skel.add("orphan_header.hpp", "src/queueing/orphan_header.hpp")
+        found = self.run_rule("umbrella-header")
+        self.assertEqual(len(found), 1)
+        self.assertIn("orphan_header.hpp", found[0].path)
+
+    def test_umbrella_header_accepts_reachable(self):
+        self.assertEqual(self.run_rule("umbrella-header"), [],
+                         "skeleton's util/ok.hpp is reachable")
+
+    def test_bench_finish_fires(self):
+        self.skel.add("bench_bad_exit.cpp", "bench/bench_bad_exit.cpp")
+        found = self.run_rule("bench-finish")
+        msgs = " ".join(v.message for v in found)
+        self.assertGreaterEqual(len(found), 2,
+                                "missing finish AND hand-rolled exit")
+        self.assertIn("never calls", msgs)
+        self.assertIn("all_checks_passed", msgs)
+
+    def test_bench_finish_skips_micro_and_accepts_finish(self):
+        self.skel.add("bench_bad_exit.cpp", "bench/bench_micro_bad.cpp")
+        (self.skel.root / "bench" / "bench_good.cpp").write_text(
+            "int main() { return stosched::bench::finish(table); }\n",
+            encoding="utf-8")
+        self.assertEqual(self.run_rule("bench-finish"), [],
+                         "micro benches are exempt; finish() satisfies")
+
+    def test_float_accumulator_fires(self):
+        self.skel.add("float_accumulator.cpp", "src/core/float_acc.cpp")
+        found = self.run_rule("float-accumulator")
+        self.assertGreaterEqual(len(found), 3,
+                                "every float token is a finding")
+
+    def test_float_accumulator_ignores_comments(self):
+        (self.skel.root / "src" / "core" / "cmt.cpp").write_text(
+            "// clamp float noise at 0\nint x = 0;  /* float */\n",
+            encoding="utf-8")
+        self.assertEqual(self.run_rule("float-accumulator"), [],
+                         "float in comments must not fire")
+
+    def test_cmake_coverage_fires(self):
+        self.skel.add("unlisted_source.cpp", "src/core/unlisted_source.cpp")
+        (self.skel.root / "tests" / "test_unlisted.cpp").write_text(
+            "int main() {}\n", encoding="utf-8")
+        found = self.run_rule("cmake-coverage")
+        paths = " ".join(v.path for v in found)
+        self.assertEqual(len(found), 2)
+        self.assertIn("unlisted_source.cpp", paths)
+        self.assertIn("test_unlisted.cpp", paths)
+
+    def test_cmake_coverage_accepts_listed(self):
+        self.assertEqual(self.run_rule("cmake-coverage"), [],
+                         "the listed skeleton source is covered")
+
+
+class RealTreeIsClean(unittest.TestCase):
+    """The actual repository passes every rule (fixtures are excluded)."""
+
+    def test_tree_clean(self):
+        violations = lint.run_rules(ROOT)
+        self.assertEqual(
+            [str(v) for v in violations], [],
+            "lint_stosched must be clean on the tree — fix the findings or "
+            "the invariant they guard")
+
+    def test_fixture_per_rule_exists(self):
+        """Every rule keeps a fixture proving it can fire."""
+        expected = {
+            "raw-random": "raw_random.cpp",
+            "substream-discipline": "substream_discipline.cpp",
+            "umbrella-header": "orphan_header.hpp",
+            "bench-finish": "bench_bad_exit.cpp",
+            "float-accumulator": "float_accumulator.cpp",
+            "cmake-coverage": "unlisted_source.cpp",
+        }
+        self.assertEqual(set(expected), set(lint.RULES),
+                         "rules and fixture map must stay in sync")
+        for fixture in expected.values():
+            self.assertTrue((FIXTURES / fixture).is_file(),
+                            f"missing fixture {fixture}")
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +23,7 @@
 #include <iostream>
 #include <string>
 
+#include "des/event_queue.hpp"
 #include "util/table.hpp"
 
 namespace stosched::bench {
@@ -120,7 +122,8 @@ inline std::string json_cell(const std::string& cell) {
 }
 
 inline void write_json(const Table& table, const std::string& path,
-                       double wall_seconds, const ArrivalMeta& arrival) {
+                       double wall_seconds, std::uint64_t events,
+                       double events_per_sec, const ArrivalMeta& arrival) {
   std::ofstream os(path);
   if (!os) {
     std::cerr << "bench: cannot write JSON to " << path << '\n';
@@ -128,6 +131,8 @@ inline void write_json(const Table& table, const std::string& path,
   }
   os << "{\n  \"bench\": \"" << json_escape(table.title()) << "\",\n"
      << "  \"wall_seconds\": " << wall_seconds << ",\n"
+     << "  \"events\": " << events << ",\n"
+     << "  \"events_per_sec\": " << events_per_sec << ",\n"
      << "  \"arrival\": {\"kind\": \"" << json_escape(arrival.kind)
      << "\", \"burstiness\": " << arrival.burstiness << "},\n"
      << "  \"passed\": " << (table.all_checks_passed() ? "true" : "false")
@@ -157,19 +162,26 @@ inline void write_json(const Table& table, const std::string& path,
 
 }  // namespace detail
 
-/// Print the table, optionally mirror it to $STOSCHED_BENCH_JSON (tagged
-/// with the bench's traffic configuration), and return the process exit
-/// code. Benches driving non-Poisson input pass an explicit ArrivalMeta so
-/// the compare tool never diffs trajectories across traffic regimes.
+/// Print the table plus a DES throughput line (events popped process-wide
+/// and events/sec — the events count is deterministic, the rate is the perf
+/// trajectory), optionally mirror both to $STOSCHED_BENCH_JSON (tagged with
+/// the bench's traffic configuration), and return the process exit code.
+/// Benches driving non-Poisson input pass an explicit ArrivalMeta so the
+/// compare tool never diffs trajectories across traffic regimes.
 inline int finish(const Table& table, const ArrivalMeta& arrival = {}) {
   table.print(std::cout);
-  if (const char* path = std::getenv("STOSCHED_BENCH_JSON")) {
-    const double wall =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      detail::bench_start)
-            .count();
-    detail::write_json(table, path, wall, arrival);
-  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    detail::bench_start)
+          .count();
+  const std::uint64_t events = process_event_count();
+  const double events_per_sec =
+      wall > 0.0 ? static_cast<double>(events) / wall : 0.0;
+  if (events > 0)
+    std::cout << "[des] " << events << " events in " << wall << " s ("
+              << events_per_sec << " events/sec)\n";
+  if (const char* path = std::getenv("STOSCHED_BENCH_JSON"))
+    detail::write_json(table, path, wall, events, events_per_sec, arrival);
   return table.all_checks_passed() ? 0 : 1;
 }
 

@@ -24,11 +24,14 @@
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/timestat.hpp"
 
 #include "dist/arrival.hpp"
 #include "dist/distribution.hpp"
 
+#include "des/calendar_queue.hpp"
 #include "des/event_queue.hpp"
+#include "des/fifo_arena.hpp"
 #include "des/simulator.hpp"
 
 #include "lp/simplex.hpp"

@@ -1,0 +1,86 @@
+// calendar_queue.hpp — an adaptive-bucket calendar queue future-event set.
+//
+// The FES shootout companion to DaryEventHeap (Brown's calendar queue,
+// CACM 1988): events hash into time buckets of width ~ the mean event gap,
+// giving O(1) amortized push/pop when the event-time distribution is
+// well-behaved — the classic alternative the hold-model micro-benchmark
+// (`bench_micro_des`) races against the d-ary heaps.
+//
+// Contract parity with DaryEventHeap — same API, same semantics:
+//   * strict (time, seq) ordering with automatically assigned insertion
+//     sequence numbers, so the two structures are order-EQUIVALENT: any
+//     simulator run replays bit-identically on either (property-tested in
+//     tests/test_des.cpp);
+//   * clear() keeps allocations and restarts the seq counter;
+//   * pops are tallied per instance and flushed to the process-wide events
+//     counter on clear/destroy (see event_queue.hpp).
+//
+// One extra precondition: event times must be >= 0 (all simulators schedule
+// in absolute nonnegative simulation time).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "des/event_queue.hpp"
+#include "util/check.hpp"
+
+namespace stosched {
+
+class CalendarEventQueue {
+ public:
+  CalendarEventQueue();
+
+  /// Pre-size the bucket array for ~`capacity_hint` resident events.
+  explicit CalendarEventQueue(std::size_t capacity_hint);
+
+  /// Same rationale as DaryEventHeap: a copy would double-flush the pop
+  /// count into the process-wide events counter.
+  CalendarEventQueue(const CalendarEventQueue&) = delete;
+  CalendarEventQueue& operator=(const CalendarEventQueue&) = delete;
+
+  ~CalendarEventQueue();
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Drop all pending events and restart the tie-break sequence, keeping
+  /// the bucket allocations; flushes the pop count.
+  void clear() noexcept;
+
+  void reserve(std::size_t n);
+
+  /// Schedule an event; `seq` is assigned automatically. `time` >= 0.
+  void push(double time, std::uint32_t type, std::uint32_t a = 0,
+            std::uint64_t b = 0);
+
+  /// The earliest event (smallest time, then smallest seq).
+  [[nodiscard]] const Event& top() const;
+
+  Event pop();
+
+ private:
+  std::uint64_t slot_of(double time) const noexcept;
+  void insert(const Event& e);
+  const Event& locate_min() const;
+  void resize_buckets(std::size_t nbuckets);
+  void flush_popped() noexcept;
+
+  /// Buckets hold events of one "day" slot each, sorted DESCENDING by
+  /// (time, seq) so the minimum is at the back (O(1) removal).
+  std::vector<std::vector<Event>> buckets_;
+  std::size_t bucket_mask_ = 0;  ///< bucket count - 1 (power of two)
+  double width_ = 1.0;           ///< bucket time width
+  std::uint64_t cur_slot_ = 0;   ///< no resident event has a smaller slot
+  std::size_t size_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t popped_ = 0;
+
+  // Cached location of the minimum event, maintained by top()/pop() and
+  // invalidated by push (mutable: top() is logically const).
+  mutable bool min_valid_ = false;
+  mutable std::size_t min_bucket_ = 0;
+  mutable std::uint64_t min_slot_ = 0;
+};
+
+}  // namespace stosched

@@ -1,6 +1,25 @@
 #include "des/event_queue.hpp"
 
+#include <atomic>
+
 namespace stosched {
+
+namespace {
+
+/// Process-wide processed-event tally. Queues flush their per-instance pop
+/// counters here (event_queue.hpp), so the only atomic traffic is one add
+/// per clear/destroy — never per event.
+std::atomic<std::uint64_t> g_process_events{0};
+
+}  // namespace
+
+std::uint64_t process_event_count() noexcept {
+  return g_process_events.load(std::memory_order_relaxed);
+}
+
+void add_process_events(std::uint64_t n) noexcept {
+  g_process_events.fetch_add(n, std::memory_order_relaxed);
+}
 
 // Explicit instantiations of the arities exercised by the library and the
 // micro-benchmark ablation; keeps template code out of every consumer TU.

@@ -21,6 +21,10 @@ class PoissonArrivals final : public ArrivalProcess {
   double next_gap(ArrivalState&, Rng& rng) const override {
     return rng.exponential(rate_);
   }
+  bool flat_gap(FlatSampler* out) const override {
+    *out = FlatSampler::exponential(rate_);  // the next_gap draw, verbatim
+    return true;
+  }
   ArrivalPtr scaled(double factor) const override {
     STOSCHED_REQUIRE(factor > 0.0 && std::isfinite(factor),
                      "arrival scale factor must be positive and finite");
@@ -43,6 +47,12 @@ class RenewalArrivals final : public ArrivalProcess {
   }
   double next_gap(ArrivalState&, Rng& rng) const override {
     return interarrival_->sample(rng);
+  }
+  bool flat_gap(FlatSampler* out) const override {
+    // The law's own flat form; laws without a fast case still skip the
+    // per-gap ArrivalProcess dispatch via the virtual-fallback sampler.
+    *out = interarrival_->flat();
+    return true;
   }
   ArrivalPtr scaled(double factor) const override {
     STOSCHED_REQUIRE(factor > 0.0 && std::isfinite(factor),
@@ -135,6 +145,14 @@ class BatchArrivals final : public ArrivalProcess {
 
   double next_gap(ArrivalState&, Rng& rng) const override {
     return interarrival_->sample(rng);
+  }
+
+  bool flat_gap(FlatSampler* out) const override {
+    // Epoch gaps are one stateless interarrival draw; batch_size stays a
+    // virtual call (it is off the per-event critical path: one per epoch,
+    // and only geometric batches draw at all).
+    *out = interarrival_->flat();
+    return true;
   }
 
   std::size_t batch_size(ArrivalState&, Rng& rng) const override {

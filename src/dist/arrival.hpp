@@ -83,6 +83,16 @@ class ArrivalProcess {
   /// E[batch size] (1 for non-batch processes).
   virtual double mean_batch() const { return 1.0; }
 
+  /// Gap-sampling fast path: when the process's `next_gap` is exactly one
+  /// stateless Distribution-style draw (Poisson, renewal, batch epochs),
+  /// fill `out` with the FlatSampler replaying that draw bit-for-bit and
+  /// return true; stateful processes (MMPP) return false and keep the
+  /// virtual path. `CachedGapSampler` below is the consumer.
+  virtual bool flat_gap(FlatSampler* out) const {
+    (void)out;
+    return false;
+  }
+
   /// Copy with the long-run job rate multiplied by `factor` (> 0), realized
   /// as a pure time rescaling: the correlation structure and `burstiness()`
   /// are preserved exactly. This is what makes `scale_to_load` work for any
@@ -92,6 +102,35 @@ class ArrivalProcess {
   /// Short process tag ("poisson", "renewal", "mmpp", "batch"), for
   /// diagnostics and bench metadata.
   virtual const char* kind() const noexcept = 0;
+};
+
+/// Per-class cached gap dispatcher for simulator hot loops: resolves the
+/// process's sampling procedure ONCE (at replication setup) instead of one
+/// virtual `next_gap` per arrival. Flat-capable processes route every draw
+/// through the tagged-POD switch; stateful ones keep the virtual call. The
+/// draw sequence is bit-identical either way (see `flat_gap`). Holds raw
+/// pointers — valid only while the process (and its laws) are alive, which
+/// the simulators guarantee by keeping the ArrivalPtr next to it.
+class CachedGapSampler {
+ public:
+  CachedGapSampler() noexcept = default;
+
+  explicit CachedGapSampler(const ArrivalProcess* process) noexcept
+      : process_(process) {
+    if (process_ != nullptr) flat_ok_ = process_->flat_gap(&flat_);
+  }
+
+  /// Time to the next arrival epoch, advancing `state` (virtual path only).
+  double next_gap(ArrivalState& state, Rng& rng) const {
+    return flat_ok_ ? flat_.sample(rng) : process_->next_gap(state, rng);
+  }
+
+  [[nodiscard]] bool flat() const noexcept { return flat_ok_; }
+
+ private:
+  const ArrivalProcess* process_ = nullptr;
+  FlatSampler flat_;
+  bool flat_ok_ = false;
 };
 
 // ---- factories -----------------------------------------------------------

@@ -23,6 +23,7 @@ class ExponentialDist final : public Distribution {
  public:
   explicit ExponentialDist(double rate) : rate_(rate) {}
   double sample(Rng& rng) const override { return rng.exponential(rate_); }
+  FlatSampler flat() const override { return FlatSampler::exponential(rate_); }
   double mean() const override { return 1.0 / rate_; }
   double second_moment() const override { return 2.0 / (rate_ * rate_); }
   double variance() const override { return 1.0 / (rate_ * rate_); }
@@ -37,6 +38,9 @@ class DeterministicDist final : public Distribution {
  public:
   explicit DeterministicDist(double value) : value_(value) {}
   double sample(Rng&) const override { return value_; }
+  FlatSampler flat() const override {
+    return FlatSampler::deterministic(value_);
+  }
   double mean() const override { return value_; }
   double second_moment() const override { return value_ * value_; }
   double variance() const override { return 0.0; }
@@ -61,6 +65,7 @@ class UniformDist final : public Distribution {
  public:
   UniformDist(double lo, double hi) : lo_(lo), hi_(hi) {}
   double sample(Rng& rng) const override { return rng.uniform(lo_, hi_); }
+  FlatSampler flat() const override { return FlatSampler::uniform(lo_, hi_); }
   double mean() const override { return 0.5 * (lo_ + hi_); }
   double second_moment() const override { return variance() + mean() * mean(); }
   double variance() const override {
@@ -93,6 +98,7 @@ class ErlangDist final : public Distribution {
     }
     return -acc / rate_;
   }
+  FlatSampler flat() const override { return FlatSampler::erlang(k_, rate_); }
   double mean() const override { return k_ / rate_; }
   double second_moment() const override {
     return k_ * (k_ + 1.0) / (rate_ * rate_);

@@ -18,12 +18,77 @@
 // parallel_machines) use to enumerate outcomes.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
 #include <vector>
 
 #include "util/rng.hpp"
 
 namespace stosched {
+
+class Distribution;
+
+/// Devirtualized per-event sampling: a tagged POD capturing one law's draw
+/// procedure as (kind + parameters), dispatched by a `switch` instead of a
+/// virtual call. Simulators resolve each class's law to a FlatSampler once
+/// per replication and route every hot-loop draw through it — params live
+/// inline in a 32-byte value instead of behind a shared_ptr + vtable chase.
+///
+/// Bit-identity contract: every fast-path case consumes exactly the same
+/// Rng primitives in exactly the same order as the corresponding
+/// `Distribution::sample` override, so replacing virtual dispatch with a
+/// cached FlatSampler cannot change any sample path (regression-tested for
+/// all laws in tests/test_dist.cpp). Laws without a fast case fall back to
+/// the virtual call through a raw pointer — the sampler is only valid while
+/// the distribution it came from is alive.
+class FlatSampler {
+ public:
+  enum class Kind : unsigned char {
+    kExponential,    ///< a = rate
+    kDeterministic,  ///< a = value; consumes no randomness
+    kUniform,        ///< a = lo, b = hi
+    kErlang,         ///< k = stages, a = per-stage rate
+    kVirtual,        ///< fallback: one virtual sample() per draw
+  };
+
+  /// Default: point mass at 0 — an inert placeholder for containers;
+  /// overwrite via a factory or Distribution::flat() before sampling.
+  FlatSampler() noexcept = default;
+
+  static FlatSampler exponential(double rate) noexcept {
+    return {Kind::kExponential, 0, rate, 0.0, nullptr};
+  }
+  static FlatSampler deterministic(double value) noexcept {
+    return {Kind::kDeterministic, 0, value, 0.0, nullptr};
+  }
+  static FlatSampler uniform(double lo, double hi) noexcept {
+    return {Kind::kUniform, 0, lo, hi, nullptr};
+  }
+  static FlatSampler erlang(unsigned k, double rate) noexcept {
+    return {Kind::kErlang, k, rate, 0.0, nullptr};
+  }
+  static FlatSampler virtual_fallback(const Distribution& d) noexcept {
+    return {Kind::kVirtual, 0, 0.0, 0.0, &d};
+  }
+
+  /// One draw; defined inline below Distribution (the fallback case needs
+  /// its complete type).
+  double sample(Rng& rng) const;
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+ private:
+  FlatSampler(Kind kind, unsigned k, double a, double b,
+              const Distribution* fallback) noexcept
+      : kind_(kind), k_(k), a_(a), b_(b), fallback_(fallback) {}
+
+  Kind kind_ = Kind::kDeterministic;
+  unsigned k_ = 0;
+  double a_ = 0.0;
+  double b_ = 0.0;
+  const Distribution* fallback_ = nullptr;
+};
 
 /// Monotonicity class of the hazard (failure) rate h(t) = f(t) / (1-F(t)).
 /// Drives index-policy optimality: e.g. LEPT is optimal for LEPT-agreeable
@@ -69,6 +134,15 @@ class Distribution {
   /// Short law name ("exp", "erlang", ...), for diagnostics.
   virtual const char* name() const noexcept = 0;
 
+  /// Devirtualized sampling hook: the FlatSampler whose switch-based
+  /// sample() replays this law's draw procedure bit-for-bit. Laws with a
+  /// flat fast path (exponential, deterministic, uniform, Erlang) override
+  /// this; the default routes every draw back through the virtual sample().
+  /// The returned sampler references *this — keep the law alive.
+  virtual FlatSampler flat() const {
+    return FlatSampler::virtual_fallback(*this);
+  }
+
  protected:
   friend bool discrete_support(const Distribution&, std::vector<double>*,
                                std::vector<double>*);
@@ -83,6 +157,32 @@ class Distribution {
     return false;
   }
 };
+
+inline double FlatSampler::sample(Rng& rng) const {
+  switch (kind_) {
+    case Kind::kExponential:
+      return rng.exponential(a_);
+    case Kind::kDeterministic:
+      return a_;
+    case Kind::kUniform:
+      return rng.uniform(a_, b_);
+    case Kind::kErlang: {
+      // Byte-for-byte the ErlangDist::sample loop: chunked log-of-products
+      // inversion (see dist/distribution.cpp for the underflow argument).
+      double acc = 0.0;
+      for (unsigned i = 0; i < k_; i += 8) {
+        double prod = 1.0;
+        const unsigned end = std::min(i + 8u, k_);
+        for (unsigned j = i; j < end; ++j) prod *= rng.uniform_pos();
+        acc += std::log(prod);
+      }
+      return -acc / a_;
+    }
+    case Kind::kVirtual:
+      return fallback_->sample(rng);
+  }
+  return 0.0;  // unreachable: the switch covers every Kind
+}
 
 /// Shared ownership: jobs, queueing class specs and generated instances all
 /// hold (and freely copy) handles to immutable laws.

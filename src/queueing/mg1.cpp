@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
 #include <limits>
+#include <utility>
 
 #include "des/event_queue.hpp"
+#include "des/fifo_arena.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
+#include "util/timestat.hpp"
 
 namespace stosched::queueing {
 
@@ -25,6 +27,12 @@ double traffic_intensity(const std::vector<ClassSpec>& classes) {
   for (const auto& c : classes) rho += class_arrival_rate(c) * c.service->mean();
   return rho;
 }
+
+// Hot-path phase accounting (zero-cost unless -DSTOSCHED_TIME_STATS):
+// FES pops vs random-variate draws vs statistics bookkeeping.
+STOSCHED_TIME_DECLARE(mg1_fes);
+STOSCHED_TIME_DECLARE(mg1_sampling);
+STOSCHED_TIME_DECLARE(mg1_bookkeeping);
 
 namespace {
 
@@ -58,9 +66,15 @@ struct Sim {
   std::vector<ArrivalPtr> arrival;
   std::vector<ArrivalState> arrival_state;
 
+  // Per-class sampling procedures resolved once at setup (tagged-POD switch
+  // for the common laws, virtual fallback otherwise — bit-identical draws
+  // either way; see FlatSampler).
+  std::vector<CachedGapSampler> gap;
+  std::vector<FlatSampler> service_flat;
+
   EventQueue events;
-  std::vector<std::deque<WaitingJob>> queue;   // per class; FCFS within class
-  std::deque<std::pair<std::size_t, WaitingJob>> fcfs;  // global FCFS queue
+  std::vector<FifoArena<WaitingJob>> queue;  // per class; FCFS within class
+  FifoArena<std::pair<std::size_t, WaitingJob>> fcfs;  // global FCFS queue
 
   bool busy = false;
   std::size_t cur_class = 0;
@@ -129,6 +143,12 @@ struct Sim {
     arrival.reserve(n);
     for (const auto& spec : classes) arrival.push_back(effective_arrival(spec));
     arrival_state.resize(n);
+    gap.reserve(n);
+    service_flat.reserve(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      gap.emplace_back(arrival[j].get());
+      service_flat.push_back(classes[j].service->flat());
+    }
     // Steady state holds ~2 events per class (next arrival + departure);
     // reserving up front keeps multi-replication engine runs allocation-free
     // after the first few events.
@@ -146,7 +166,9 @@ struct Sim {
   void set_count(std::size_t cls, long delta) {
     in_system[cls] += delta;
     STOSCHED_ASSERT(in_system[cls] >= 0, "negative class population");
+    STOSCHED_TIME_START(mg1_bookkeeping);
     count_ta[cls].observe(now, static_cast<double>(in_system[cls]));
+    STOSCHED_TIME_STOP(mg1_bookkeeping);
   }
 
   void set_busy(bool b) {
@@ -156,9 +178,10 @@ struct Sim {
 
   void schedule_arrival(std::size_t cls) {
     if (!arrival[cls]) return;
-    events.push(
-        now + arrival[cls]->next_gap(arrival_state[cls], arrival_rng[cls]),
-        kArrival, static_cast<std::uint32_t>(cls));
+    STOSCHED_TIME_START(mg1_sampling);
+    const double g = gap[cls].next_gap(arrival_state[cls], arrival_rng[cls]);
+    STOSCHED_TIME_STOP(mg1_sampling);
+    events.push(now + g, kArrival, static_cast<std::uint32_t>(cls));
   }
 
   /// Pick the next class to serve; SIZE_MAX if all queues empty.
@@ -192,9 +215,11 @@ struct Sim {
       if (warm) wait_stat[cls].push(now - job.class_arrival);
       job.started = true;
     }
+    STOSCHED_TIME_START(mg1_sampling);
     const double service = job.remaining >= 0.0
                                ? job.remaining
-                               : classes[cls].service->sample(service_rng[cls]);
+                               : service_flat[cls].sample(service_rng[cls]);
+    STOSCHED_TIME_STOP(mg1_sampling);
     cur_class = cls;
     cur_job = job;
     service_started = now;
@@ -207,7 +232,7 @@ struct Sim {
 
   void enqueue(std::size_t cls, WaitingJob job) {
     if (opt.discipline == Discipline::kFcfs)
-      fcfs.emplace_back(cls, job);
+      fcfs.push_back({cls, job});
     else
       queue[cls].push_back(job);
   }
@@ -281,7 +306,9 @@ struct Sim {
     const double t_end = opt.warmup + opt.horizon;
 
     while (!events.empty() && events.top().time <= t_end) {
+      STOSCHED_TIME_START(mg1_fes);
       const Event e = events.pop();
+      STOSCHED_TIME_STOP(mg1_fes);
       now = e.time;
       if (!warm && now >= opt.warmup) reset_statistics();
       if (e.type == kArrival)

@@ -1,11 +1,12 @@
 #include "queueing/network.hpp"
 
 #include <algorithm>
-#include <deque>
 
 #include "des/event_queue.hpp"
+#include "des/fifo_arena.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
+#include "util/timestat.hpp"
 
 namespace stosched::queueing {
 
@@ -81,6 +82,11 @@ std::vector<double> station_intensities(const NetworkConfig& config) {
   return rho;
 }
 
+// Hot-path phase accounting (zero-cost unless -DSTOSCHED_TIME_STATS).
+STOSCHED_TIME_DECLARE(network_fes);
+STOSCHED_TIME_DECLARE(network_sampling);
+STOSCHED_TIME_DECLARE(network_bookkeeping);
+
 namespace {
 
 constexpr std::uint32_t kArrival = 0;
@@ -117,10 +123,24 @@ NetworkTrace simulate_network(const NetworkConfig& config, double horizon,
   for (std::size_t c = 0; c < nc; ++c)
     arrival[c] = effective_arrival(config.classes[c]);
 
+  // Per-class sampling procedures resolved once (tagged-POD switch for the
+  // common laws, virtual fallback otherwise; draws are bit-identical). The
+  // legacy `service_mean`-only classes get the historical exponential draw
+  // as a flat exponential — the same `rng.exponential(1/mean)` either way.
+  std::vector<CachedGapSampler> gap(nc);
+  std::vector<FlatSampler> service_flat(nc);
+  for (std::size_t c = 0; c < nc; ++c) {
+    gap[c] = CachedGapSampler(arrival[c].get());
+    const auto& cls = config.classes[c];
+    service_flat[c] = cls.service
+                          ? cls.service->flat()
+                          : FlatSampler::exponential(1.0 / cls.service_mean);
+  }
+
   EventQueue events;
   // Per class FIFO (arrival times); per station FCFS order (class ids).
-  std::vector<std::deque<double>> queue(nc);
-  std::vector<std::deque<std::size_t>> station_fifo(ns);
+  std::vector<FifoArena<double>> queue(nc);
+  std::vector<FifoArena<std::size_t>> station_fifo(ns);
   std::vector<char> busy(ns, 0);
   std::vector<std::size_t> serving(ns, 0);  // class being served
   std::vector<std::size_t> rank(nc, 0);
@@ -156,12 +176,9 @@ NetworkTrace simulate_network(const NetworkConfig& config, double horizon,
     queue[pick].pop_front();
     busy[st] = 1;
     serving[st] = pick;
-    // Attached law when present; otherwise the historical exponential draw,
-    // kept verbatim so default configs reproduce bit-for-bit.
-    const auto& cls = config.classes[pick];
-    const double duration =
-        cls.service ? cls.service->sample(service_rng[pick])
-                    : service_rng[pick].exponential(1.0 / cls.service_mean);
+    STOSCHED_TIME_START(network_sampling);
+    const double duration = service_flat[pick].sample(service_rng[pick]);
+    STOSCHED_TIME_STOP(network_sampling);
     events.push(now + duration, kServiceDone, static_cast<std::uint32_t>(st));
   };
 
@@ -173,8 +190,8 @@ NetworkTrace simulate_network(const NetworkConfig& config, double horizon,
 
   for (std::size_t c = 0; c < nc; ++c)
     if (arrival[c])
-      events.push(arrival[c]->next_gap(arrival_state[c], arrival_rng[c]),
-                  kArrival, static_cast<std::uint32_t>(c));
+      events.push(gap[c].next_gap(arrival_state[c], arrival_rng[c]), kArrival,
+                  static_cast<std::uint32_t>(c));
   for (std::size_t s = 1; s <= samples; ++s)
     events.push(horizon * static_cast<double>(s) / static_cast<double>(samples),
                 kSample, 0);
@@ -184,20 +201,26 @@ NetworkTrace simulate_network(const NetworkConfig& config, double horizon,
   trace.total_jobs.reserve(samples);
 
   while (!events.empty() && events.top().time <= horizon) {
+    STOSCHED_TIME_START(network_fes);
     const Event e = events.pop();
+    STOSCHED_TIME_STOP(network_fes);
     now = e.time;
     switch (e.type) {
       case kArrival: {
         const auto cls = static_cast<std::size_t>(e.a);
-        events.push(
-            now + arrival[cls]->next_gap(arrival_state[cls], arrival_rng[cls]),
-            kArrival, e.a);
+        STOSCHED_TIME_START(network_sampling);
+        const double g =
+            gap[cls].next_gap(arrival_state[cls], arrival_rng[cls]);
+        STOSCHED_TIME_STOP(network_sampling);
+        events.push(now + g, kArrival, e.a);
         // Batch processes deliver several simultaneous jobs per epoch (the
         // default batch_size() is 1 and draws nothing).
         const std::size_t jobs =
             arrival[cls]->batch_size(arrival_state[cls], arrival_rng[cls]);
         total_jobs += static_cast<long>(jobs);
+        STOSCHED_TIME_START(network_bookkeeping);
         total_ta.observe(now, static_cast<double>(total_jobs));
+        STOSCHED_TIME_STOP(network_bookkeeping);
         for (std::size_t i = 0; i < jobs; ++i) enqueue_job(cls);
         break;
       }

@@ -2,14 +2,20 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
 
 #include "des/event_queue.hpp"
+#include "des/fifo_arena.hpp"
 #include "queueing/mg1_analytic.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
+#include "util/timestat.hpp"
 
 namespace stosched::queueing {
+
+// Hot-path phase accounting (zero-cost unless -DSTOSCHED_TIME_STATS).
+STOSCHED_TIME_DECLARE(mmm_fes);
+STOSCHED_TIME_DECLARE(mmm_sampling);
+STOSCHED_TIME_DECLARE(mmm_bookkeeping);
 
 namespace {
 
@@ -64,8 +70,17 @@ MmmResult simulate_mmm(const std::vector<ClassSpec>& classes,
   for (const auto& spec : classes) arrival.push_back(effective_arrival(spec));
   std::vector<ArrivalState> arrival_state(n);
 
+  // Sampling procedures resolved once per class (bit-identical draws; see
+  // FlatSampler / CachedGapSampler).
+  std::vector<CachedGapSampler> gap(n);
+  std::vector<FlatSampler> service_flat(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    gap[j] = CachedGapSampler(arrival[j].get());
+    service_flat[j] = classes[j].service->flat();
+  }
+
   EventQueue events;
-  std::vector<std::deque<double>> queue(n);  // arrival times per class
+  std::vector<FifoArena<double>> queue(n);  // arrival times per class
   std::vector<long> in_system(n, 0);
   std::vector<TimeAverage> count_ta(n);
   TimeAverage busy_ta;
@@ -79,7 +94,9 @@ MmmResult simulate_mmm(const std::vector<ClassSpec>& classes,
   auto bump = [&](std::size_t cls, long d) {
     in_system[cls] += d;
     STOSCHED_ASSERT(in_system[cls] >= 0, "negative class population");
+    STOSCHED_TIME_START(mmm_bookkeeping);
     count_ta[cls].observe(now, static_cast<double>(in_system[cls]));
+    STOSCHED_TIME_STOP(mmm_bookkeeping);
   };
 
   auto start_if_possible = [&]() {
@@ -93,15 +110,18 @@ MmmResult simulate_mmm(const std::vector<ClassSpec>& classes,
       queue[best].pop_front();
       ++busy;
       busy_ta.observe(now, static_cast<double>(busy));
-      events.push(now + classes[best].service->sample(service_rng[best]),
-                  kDeparture, static_cast<std::uint32_t>(best));
+      STOSCHED_TIME_START(mmm_sampling);
+      const double duration = service_flat[best].sample(service_rng[best]);
+      STOSCHED_TIME_STOP(mmm_sampling);
+      events.push(now + duration, kDeparture,
+                  static_cast<std::uint32_t>(best));
     }
   };
 
   for (std::size_t j = 0; j < n; ++j)
     if (arrival[j])
-      events.push(arrival[j]->next_gap(arrival_state[j], arrival_rng[j]),
-                  kArrival, static_cast<std::uint32_t>(j));
+      events.push(gap[j].next_gap(arrival_state[j], arrival_rng[j]), kArrival,
+                  static_cast<std::uint32_t>(j));
 
   // Restart the time-averages at the warmup *epoch*, not at the first event
   // at-or-after it: TimeAverage::reset keeps the current level, so the
@@ -116,14 +136,18 @@ MmmResult simulate_mmm(const std::vector<ClassSpec>& classes,
 
   const double t_end = warmup + horizon;
   while (!events.empty() && events.top().time <= t_end) {
+    STOSCHED_TIME_START(mmm_fes);
     const Event e = events.pop();
+    STOSCHED_TIME_STOP(mmm_fes);
     now = e.time;
     if (!warm && now >= warmup) warm_up();
     const auto cls = static_cast<std::size_t>(e.a);
     if (e.type == kArrival) {
-      events.push(
-          now + arrival[cls]->next_gap(arrival_state[cls], arrival_rng[cls]),
-          kArrival, e.a);
+      STOSCHED_TIME_START(mmm_sampling);
+      const double g =
+          gap[cls].next_gap(arrival_state[cls], arrival_rng[cls]);
+      STOSCHED_TIME_STOP(mmm_sampling);
+      events.push(now + g, kArrival, e.a);
       // Batch processes deliver several simultaneous jobs per epoch (the
       // default batch_size() is 1 and draws nothing).
       const std::size_t jobs =

@@ -2,13 +2,19 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
 
 #include "des/event_queue.hpp"
+#include "des/fifo_arena.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
+#include "util/timestat.hpp"
 
 namespace stosched::queueing {
+
+// Hot-path phase accounting (zero-cost unless -DSTOSCHED_TIME_STATS).
+STOSCHED_TIME_DECLARE(polling_fes);
+STOSCHED_TIME_DECLARE(polling_sampling);
+STOSCHED_TIME_DECLARE(polling_bookkeeping);
 
 namespace {
 
@@ -35,8 +41,14 @@ struct PollingSim {
   std::vector<ArrivalPtr> arrival;
   std::vector<ArrivalState> arrival_state;
 
+  // Sampling procedures resolved once per queue (bit-identical draws; see
+  // FlatSampler / CachedGapSampler).
+  std::vector<CachedGapSampler> gap;
+  std::vector<FlatSampler> service_flat;
+  FlatSampler switch_flat;
+
   EventQueue events;
-  std::vector<std::deque<double>> queue;
+  std::vector<FifoArena<double>> queue;
   std::vector<long> in_system;
   std::vector<TimeAverage> count_ta;
   TimeAverage switch_ta, serve_ta;
@@ -66,6 +78,13 @@ struct PollingSim {
     arrival.reserve(n);
     for (const auto& spec : classes) arrival.push_back(effective_arrival(spec));
     arrival_state.resize(n);
+    gap.reserve(n);
+    service_flat.reserve(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      gap.emplace_back(arrival[j].get());
+      service_flat.push_back(classes[j].service->flat());
+    }
+    switch_flat = opt.switchover->flat();
     events.reserve(2 * n + 16);
     queue.resize(n);
     in_system.assign(n, 0);
@@ -82,7 +101,9 @@ struct PollingSim {
   void bump(std::size_t q, long d) {
     in_system[q] += d;
     STOSCHED_ASSERT(in_system[q] >= 0, "negative queue population");
+    STOSCHED_TIME_START(polling_bookkeeping);
     count_ta[q].observe(now, static_cast<double>(in_system[q]));
+    STOSCHED_TIME_STOP(polling_bookkeeping);
   }
 
   void set_state(ServerState s) {
@@ -117,14 +138,19 @@ struct PollingSim {
     set_state(ServerState::kServing);
     ++served_this_visit;
     if (gate > 0) --gate;
-    events.push(now + classes[q].service->sample(service_rng[q]), kServiceDone,
-                static_cast<std::uint32_t>(q));
+    STOSCHED_TIME_START(polling_sampling);
+    const double duration = service_flat[q].sample(service_rng[q]);
+    STOSCHED_TIME_STOP(polling_sampling);
+    events.push(now + duration, kServiceDone, static_cast<std::uint32_t>(q));
   }
 
   void begin_switch(std::size_t target) {
     at = target;
     set_state(ServerState::kSwitching);
-    events.push(now + opt.switchover->sample(switch_rng), kSwitchDone,
+    STOSCHED_TIME_START(polling_sampling);
+    const double duration = switch_flat.sample(switch_rng);
+    STOSCHED_TIME_STOP(polling_sampling);
+    events.push(now + duration, kSwitchDone,
                 static_cast<std::uint32_t>(target));
   }
 
@@ -182,12 +208,14 @@ struct PollingSim {
   PollingResult run() {
     for (std::size_t j = 0; j < n; ++j)
       if (arrival[j])
-        events.push(arrival[j]->next_gap(arrival_state[j], arrival_rng[j]),
+        events.push(gap[j].next_gap(arrival_state[j], arrival_rng[j]),
                     kArrival, static_cast<std::uint32_t>(j));
 
     const double t_end = opt.warmup + opt.horizon;
     while (!events.empty() && events.top().time <= t_end) {
+      STOSCHED_TIME_START(polling_fes);
       const Event e = events.pop();
+      STOSCHED_TIME_STOP(polling_fes);
       now = e.time;
       if (!warm && now >= opt.warmup) {
         warm = true;
@@ -198,9 +226,11 @@ struct PollingSim {
       const auto q = static_cast<std::size_t>(e.a);
       switch (e.type) {
         case kArrival: {
-          events.push(
-              now + arrival[q]->next_gap(arrival_state[q], arrival_rng[q]),
-              kArrival, e.a);
+          STOSCHED_TIME_START(polling_sampling);
+          const double g =
+              gap[q].next_gap(arrival_state[q], arrival_rng[q]);
+          STOSCHED_TIME_STOP(polling_sampling);
+          events.push(now + g, kArrival, e.a);
           // Batch processes deliver several simultaneous jobs per epoch
           // (the default batch_size() is 1 and draws nothing).
           const std::size_t jobs =

@@ -1,0 +1,129 @@
+#include "util/timestat.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace stosched::timestat {
+
+namespace {
+
+/// Flushed totals of destroyed TimeStat instances, merged by name.
+struct DeadStat {
+  std::string name;
+  std::uint64_t total_ns = 0;
+  std::uint64_t count = 0;
+};
+
+/// Process-wide registry. Deliberately leaked (never destroyed): TimeStat
+/// instances are namespace-scope statics in arbitrary translation units, so
+/// their construction/destruction order relative to any registry *object*
+/// is unspecified — a leaked registry is valid at every point either could
+/// run, including inside atexit handlers.
+struct Registry {
+  std::mutex mu;
+  std::vector<TimeStat*> live;
+  std::vector<DeadStat> dead;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked on purpose, see above
+  return *r;
+}
+
+void merge_dead(Registry& reg, const char* name, std::uint64_t ns,
+                std::uint64_t count) {
+  for (auto& d : reg.dead) {
+    if (d.name == name) {
+      d.total_ns += ns;
+      d.count += count;
+      return;
+    }
+  }
+  reg.dead.push_back({name, ns, count});
+}
+
+#ifdef STOSCHED_TIME_STATS
+void report_at_exit() { report(std::cerr); }
+#endif
+
+}  // namespace
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+TimeStat::TimeStat(const char* name) noexcept : name_(name) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  reg.live.push_back(this);
+#ifdef STOSCHED_TIME_STATS
+  // One process-exit report per stats build; registered on the first
+  // TimeStat so uninstrumented binaries stay silent.
+  static const bool installed = (std::atexit(report_at_exit), true);
+  (void)installed;
+#endif
+}
+
+TimeStat::~TimeStat() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  for (std::size_t i = 0; i < reg.live.size(); ++i) {
+    if (reg.live[i] == this) {
+      reg.live.erase(reg.live.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  if (total_ns() != 0 || count() != 0)
+    merge_dead(reg, name_, total_ns(), count());
+}
+
+void report(std::ostream& os) {
+  Registry& reg = registry();
+  std::vector<DeadStat> rows;
+  {
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    rows = reg.dead;
+    for (const TimeStat* s : reg.live) {
+      if (s->count() == 0) continue;
+      bool merged = false;
+      for (auto& r : rows) {
+        if (r.name == s->name()) {
+          r.total_ns += s->total_ns();
+          r.count += s->count();
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) rows.push_back({s->name(), s->total_ns(), s->count()});
+    }
+  }
+  if (rows.empty()) return;
+  os << "-- stosched time stats "
+        "--------------------------------------------------\n";
+  char line[160];
+  std::snprintf(line, sizeof line, "  %-28s %12s %14s %12s\n", "phase",
+                "calls", "total", "per-call");
+  os << line;
+  for (const auto& r : rows) {
+    const double total_s = static_cast<double>(r.total_ns) * 1e-9;
+    const double per_call =
+        r.count > 0
+            ? static_cast<double>(r.total_ns) / static_cast<double>(r.count)
+            : 0.0;
+    std::snprintf(line, sizeof line, "  %-28s %12llu %12.3f s %9.1f ns\n",
+                  r.name.c_str(), static_cast<unsigned long long>(r.count),
+                  total_s, per_call);
+    os << line;
+  }
+  os << "------------------------------------------------------------"
+        "-------------\n";
+}
+
+}  // namespace stosched::timestat

@@ -312,5 +312,59 @@ TEST(ArrivalSim, CrnCutsDifferenceVarianceUnderMmpp) {
               4.0 * (crn.diff[0][0].sem() + ind.diff[0][0].sem()));
 }
 
+// ---------------------------------------------------------------------------
+// CachedGapSampler: the simulators' per-class dispatch cache must replay
+// the virtual next_gap path bit-for-bit for every process kind.
+// ---------------------------------------------------------------------------
+
+TEST(CachedGapSampler, FlatPathIsBitIdenticalForStatelessProcesses) {
+  const ArrivalPtr processes[] = {
+      poisson_arrivals(0.7),
+      renewal_arrivals(uniform_dist(0.5, 1.5)),
+      renewal_arrivals(weibull_dist(1.7, 2.0)),  // via virtual-fallback case
+      batch_arrivals(erlang_dist(2, 3.0), 4),
+  };
+  for (const auto& p : processes) {
+    const CachedGapSampler cached(p.get());
+    Rng virt_rng(314);
+    Rng flat_rng(314);
+    ArrivalState virt_st;
+    ArrivalState flat_st;
+    for (int i = 0; i < 500; ++i) {
+      const double expected = p->next_gap(virt_st, virt_rng);
+      const double got = cached.next_gap(flat_st, flat_rng);
+      ASSERT_EQ(expected, got) << p->kind() << " draw " << i;
+    }
+    EXPECT_EQ(virt_rng(), flat_rng()) << p->kind();
+  }
+}
+
+TEST(CachedGapSampler, FastPathCoversExactlyTheStatelessDraws) {
+  // Which processes resolve to the flat switch is part of the perf contract:
+  // Poisson/renewal/batch epochs are one stateless draw; MMPP gaps depend
+  // on the modulating chain and must keep the virtual path.
+  EXPECT_TRUE(CachedGapSampler(poisson_arrivals(1.0).get()).flat());
+  EXPECT_TRUE(
+      CachedGapSampler(renewal_arrivals(deterministic_dist(1.0)).get())
+          .flat());
+  EXPECT_TRUE(
+      CachedGapSampler(batch_arrivals(exponential_dist(1.0), 3).get())
+          .flat());
+  EXPECT_FALSE(
+      CachedGapSampler(mmpp_arrivals(0.5, 4.0, 0.1, 0.4).get()).flat());
+}
+
+TEST(CachedGapSampler, MmppVirtualFallbackMatchesDirectCalls) {
+  const auto mmpp = mmpp_arrivals(0.5, 4.0, 0.1, 0.4);
+  const CachedGapSampler cached(mmpp.get());
+  Rng direct_rng(99);
+  Rng cached_rng(99);
+  ArrivalState direct_st;
+  ArrivalState cached_st;
+  for (int i = 0; i < 500; ++i)
+    ASSERT_EQ(mmpp->next_gap(direct_st, direct_rng),
+              cached.next_gap(cached_st, cached_rng));
+}
+
 }  // namespace
 }  // namespace stosched

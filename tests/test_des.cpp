@@ -1,12 +1,18 @@
 // Tests for des/: heap ordering with tie-breaking (the determinism
-// guarantee), arity-parameterized property checks, and the Simulator
+// guarantee), arity-parameterized property checks, calendar-queue order
+// equivalence with the heaps, the FifoArena ring buffer against a
+// std::deque reference, the process-wide event counter, and the Simulator
 // kernel's clock discipline.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <deque>
+#include <utility>
 #include <vector>
 
+#include "des/calendar_queue.hpp"
 #include "des/event_queue.hpp"
+#include "des/fifo_arena.hpp"
 #include "des/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -93,6 +99,169 @@ TEST(EventQueue, InterleavedPushPop) {
     EXPECT_GE(e.time, last);
     last = e.time;
     q.push(e.time + rng.uniform(0.0, 5.0), 0);
+  }
+}
+
+TEST(CalendarQueue, PopsInTimeOrder) {
+  CalendarEventQueue q;
+  q.push(3.0, 0);
+  q.push(1.0, 1);
+  q.push(2.0, 2);
+  EXPECT_EQ(q.pop().type, 1u);
+  EXPECT_EQ(q.pop().type, 2u);
+  EXPECT_EQ(q.pop().type, 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, TiesBreakByInsertionOrder) {
+  CalendarEventQueue q;
+  for (std::uint32_t i = 0; i < 50; ++i) q.push(1.0, i);
+  for (std::uint32_t i = 0; i < 50; ++i) EXPECT_EQ(q.pop().type, i);
+}
+
+TEST(CalendarQueue, ClearRestartsSequenceAndSurvivesReuse) {
+  CalendarEventQueue q;
+  for (int i = 0; i < 100; ++i) q.push(static_cast<double>(i), 0);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  q.push(3.0, 7);
+  EXPECT_EQ(q.top().seq, 0u);
+  EXPECT_EQ(q.pop().type, 7u);
+}
+
+TEST(CalendarQueue, SparseAndClusteredTimes) {
+  // Exercise the direct-scan fallback (events far beyond one calendar
+  // year) and bucket collisions (many events in one slot).
+  CalendarEventQueue q;
+  q.push(1e12, 0);
+  q.push(0.5, 1);
+  q.push(1e6, 2);
+  for (std::uint32_t i = 0; i < 40; ++i) q.push(2.0, 10 + i);
+  EXPECT_EQ(q.pop().type, 1u);
+  for (std::uint32_t i = 0; i < 40; ++i) EXPECT_EQ(q.pop().type, 10 + i);
+  EXPECT_EQ(q.pop().type, 2u);
+  EXPECT_EQ(q.pop().type, 0u);
+}
+
+TEST(CalendarQueue, OrderEquivalentToHeapRandomized) {
+  // The contract the simulators rely on to swap structures freely: under
+  // any interleaving of pushes and pops — including exact ties, which both
+  // structures must break by insertion seq — the two FES implementations
+  // emit the identical event stream.
+  CalendarEventQueue cal;
+  DaryEventHeap<4> heap;
+  Rng rng(2024);
+  double floor_time = 0.0;  // pops only rise; pushes stay >= last pop
+  for (int op = 0; op < 10000; ++op) {
+    const bool can_pop = !heap.empty();
+    if (!can_pop || rng.uniform() < 0.55) {
+      // Coarse grid => frequent exact ties across pushes.
+      const double t = floor_time + rng.below(16);
+      const auto tag = static_cast<std::uint32_t>(op);
+      cal.push(t, tag, tag, static_cast<std::uint64_t>(op));
+      heap.push(t, tag, tag, static_cast<std::uint64_t>(op));
+    } else {
+      const Event a = cal.pop();
+      const Event b = heap.pop();
+      ASSERT_EQ(a.time, b.time);
+      ASSERT_EQ(a.seq, b.seq);
+      ASSERT_EQ(a.type, b.type);
+      ASSERT_EQ(a.a, b.a);
+      ASSERT_EQ(a.b, b.b);
+      floor_time = a.time;
+    }
+  }
+  while (!heap.empty()) {
+    const Event a = cal.pop();
+    const Event b = heap.pop();
+    ASSERT_EQ(a.time, b.time);
+    ASSERT_EQ(a.seq, b.seq);
+  }
+  EXPECT_TRUE(cal.empty());
+}
+
+TEST(EventCounter, FlushesOnClearAndDestroy) {
+  const std::uint64_t before = process_event_count();
+  {
+    EventQueue q;
+    q.push(1.0, 0);
+    q.push(2.0, 0);
+    q.pop();
+    // Unflushed pops are not yet visible process-wide.
+    EXPECT_EQ(process_event_count(), before);
+    q.clear();
+    EXPECT_EQ(process_event_count(), before + 1);
+    q.push(1.0, 0);
+    q.pop();
+  }  // destructor flushes the second pop
+  EXPECT_EQ(process_event_count(), before + 2);
+
+  const std::uint64_t mid = process_event_count();
+  {
+    CalendarEventQueue q;
+    q.push(1.0, 0);
+    q.pop();
+  }
+  EXPECT_EQ(process_event_count(), mid + 1);
+}
+
+TEST(FifoArena, MatchesDequeReference) {
+  // Randomized differential test against std::deque, covering wrap-around,
+  // growth mid-stream, push_front (the preemption path), and clear-reuse.
+  FifoArena<int> arena;
+  std::deque<int> ref;
+  Rng rng(7);
+  int next = 0;
+  for (int op = 0; op < 20000; ++op) {
+    const double u = rng.uniform();
+    if (u < 0.40) {
+      arena.push_back(next);
+      ref.push_back(next);
+      ++next;
+    } else if (u < 0.55) {
+      arena.push_front(next);
+      ref.push_front(next);
+      ++next;
+    } else if (u < 0.98) {
+      if (!ref.empty()) {
+        ASSERT_EQ(arena.front(), ref.front());
+        arena.pop_front();
+        ref.pop_front();
+      }
+    } else {
+      arena.clear();
+      ref.clear();
+    }
+    ASSERT_EQ(arena.size(), ref.size());
+    ASSERT_EQ(arena.empty(), ref.empty());
+  }
+  while (!ref.empty()) {
+    ASSERT_EQ(arena.front(), ref.front());
+    arena.pop_front();
+    ref.pop_front();
+  }
+}
+
+TEST(FifoArena, ReserveKeepsClearAllocationFree) {
+  FifoArena<double> arena(100);
+  const std::size_t cap = arena.capacity();
+  EXPECT_GE(cap, 100u);
+  for (int i = 0; i < 100; ++i) arena.push_back(1.0);
+  arena.clear();
+  EXPECT_EQ(arena.capacity(), cap);
+  EXPECT_TRUE(arena.empty());
+}
+
+TEST(FifoArena, GrowthUnwrapsRing) {
+  // Force head_ away from 0, then grow: FIFO order must survive the
+  // unwrap-to-front rebuild.
+  FifoArena<int> arena;
+  for (int i = 0; i < 10; ++i) arena.push_back(i);
+  for (int i = 0; i < 10; ++i) arena.pop_front();
+  for (int i = 0; i < 40; ++i) arena.push_back(i);  // wraps, then grows
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_EQ(arena.front(), i);
+    arena.pop_front();
   }
 }
 

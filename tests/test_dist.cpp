@@ -249,5 +249,73 @@ TEST(Distribution, InvalidParametersThrow) {
   EXPECT_THROW(discrete_dist({1.0, 2.0}, {0.5, 0.6}), std::invalid_argument);
 }
 
+// ---- FlatSampler: the devirtualized hot-path sampler ----------------------
+
+TEST_P(LawMoments, FlatSamplerIsBitIdenticalToVirtualSample) {
+  // The contract simulators rely on to cache FlatSamplers: for EVERY law —
+  // fast-path and virtual-fallback alike — the flat draw consumes the same
+  // Rng primitives in the same order, so same-seed streams produce exactly
+  // equal (bitwise, not approximately) sample paths.
+  const auto laws = all_laws();
+  const auto& law = laws[GetParam()];
+  const FlatSampler flat = law.dist->flat();
+  Rng virt_rng(911 + GetParam());
+  Rng flat_rng(911 + GetParam());
+  for (int i = 0; i < 1000; ++i) {
+    const double expected = law.dist->sample(virt_rng);
+    const double got = flat.sample(flat_rng);
+    ASSERT_EQ(expected, got) << law.name << " draw " << i;
+  }
+  // And the streams themselves must be in the same state afterwards.
+  EXPECT_EQ(virt_rng(), flat_rng());
+}
+
+TEST(FlatSampler, FastPathCoversTheCommonLawsOnly) {
+  using Kind = FlatSampler::Kind;
+  EXPECT_EQ(exponential_dist(0.7)->flat().kind(), Kind::kExponential);
+  EXPECT_EQ(deterministic_dist(2.5)->flat().kind(), Kind::kDeterministic);
+  EXPECT_EQ(uniform_dist(1.0, 3.0)->flat().kind(), Kind::kUniform);
+  EXPECT_EQ(erlang_dist(3, 1.5)->flat().kind(), Kind::kErlang);
+  // Everything else keeps the virtual fallback.
+  EXPECT_EQ(hyperexp2_dist(2.0, 4.0)->flat().kind(), Kind::kVirtual);
+  EXPECT_EQ(weibull_dist(2.0, 1.0)->flat().kind(), Kind::kVirtual);
+  EXPECT_EQ(pareto_dist(1.0, 3.0)->flat().kind(), Kind::kVirtual);
+  EXPECT_EQ(scaled_dist(exponential_dist(0.7), 2.0)->flat().kind(),
+            Kind::kVirtual);
+}
+
+TEST(FlatSampler, DefaultIsInertPointMass) {
+  FlatSampler s;
+  Rng rng(5);
+  const Rng before = rng;
+  EXPECT_EQ(s.sample(rng), 0.0);
+  EXPECT_EQ(rng(), Rng(before)());  // consumed no randomness
+}
+
+TEST(FlatSampler, GoldenDrawsPinTheSamplePaths) {
+  // Golden first draws for the fast-path laws under Rng(2026), generated
+  // once with %.17g. These pin the exact draw algorithms: any change to the
+  // Rng primitives, the law implementations, or the FlatSampler cases shows
+  // up here as a bitwise mismatch — the simulators' replay guarantee.
+  struct Golden {
+    FlatSampler sampler;
+    double draws[3];
+  };
+  const Golden goldens[] = {
+      {FlatSampler::exponential(0.7),
+       {0.26937570493725943, 1.4553949809642446, 2.3971807561101972}},
+      {FlatSampler::deterministic(2.5), {2.5, 2.5, 2.5}},
+      {FlatSampler::uniform(1.0, 3.0),
+       {2.6562966677395794, 1.722072805800021, 1.3734842855765779}},
+      {FlatSampler::erlang(3, 1.5),
+       {1.9235773396054603, 0.99819619398995629, 1.2289886586237107}},
+  };
+  for (const auto& g : goldens) {
+    Rng rng(2026);
+    for (const double expected : g.draws)
+      ASSERT_EQ(g.sampler.sample(rng), expected);
+  }
+}
+
 }  // namespace
 }  // namespace stosched

@@ -99,6 +99,12 @@ def compare_exact(old, new):
         if old.get(key) != new.get(key):
             problems.append(f"'{key}' differs: {old.get(key)!r} "
                             f"!= {new.get(key)!r}")
+    # The DES event count is deterministic and belongs in the gate — but
+    # only when both files carry it (JSONs from before the counter existed
+    # simply lack the key and must still compare clean).
+    if "events" in old and "events" in new and old["events"] != new["events"]:
+        problems.append(f"'events' differs: {old['events']!r} "
+                        f"!= {new['events']!r}")
     if old["verdicts"] != new["verdicts"]:
         problems.append(f"verdicts differ: {old['verdicts']!r} "
                         f"!= {new['verdicts']!r}")
@@ -187,6 +193,18 @@ def main():
         elif drift < -args.time_tol:
             marker = "  speedup"
         print(f"  wall: {t_old:.3f}s -> {t_new:.3f}s ({drift:+.1%}){marker}")
+
+    # Throughput trajectory: warn-only (never fails the gate) — events/sec
+    # is machine-noisy, but a sustained drop across commits is the first
+    # symptom of a hot-path regression. Old JSONs without the key are fine.
+    r_old, r_new = old.get("events_per_sec"), new.get("events_per_sec")
+    if isinstance(r_old, (int, float)) and isinstance(r_new, (int, float)) \
+            and r_old > 0 and r_new > 0:
+        drift = (r_new - r_old) / r_old
+        marker = "  THROUGHPUT DROP (warn-only)" if drift < -args.time_tol \
+            else ""
+        print(f"  events/sec: {r_old:,.0f} -> {r_new:,.0f} "
+              f"({drift:+.1%}){marker}")
 
     drifted = list(compare_cells(old, new, args.rel_tol))
     for label, col, a, b, drift in drifted:

@@ -75,6 +75,8 @@ def summarize(doc, commit):
         "commit": commit,
         "bench": doc["bench"],
         "wall_seconds": doc.get("wall_seconds"),
+        "events": doc.get("events"),
+        "events_per_sec": doc.get("events_per_sec"),
         "passed": doc.get("passed"),
         "arrival": doc.get("arrival"),
         "verdicts": {v["what"]: v["pass"] for v in doc["verdicts"]},
@@ -117,10 +119,14 @@ def show_summary(history_path, tail):
             commit = (ln.get("commit") or "?")[:12]
             wall = ln.get("wall_seconds")
             wall_s = f"{wall:.3f}s" if isinstance(wall, (int, float)) else "?"
+            rate = ln.get("events_per_sec")
+            rate_s = (f"{rate:,.0f} ev/s"
+                      if isinstance(rate, (int, float)) and rate > 0
+                      else "-")  # pre-counter history lines have no rate
             verdicts = ln.get("verdicts", {})
             failed = [w for w, ok in verdicts.items() if not ok]
             status = "PASS" if not failed else f"FAIL({len(failed)})"
-            print(f"  {commit}  wall {wall_s:>9}  {status}")
+            print(f"  {commit}  wall {wall_s:>9}  {rate_s:>16}  {status}")
 
 
 def main():

@@ -25,6 +25,11 @@ Enforces the invariants the codebase relies on but no compiler checks:
   float-accumulator     No `float` in src/ or bench/: statistics paths
                         accumulate in double; single-precision accumulators
                         lose ~7 digits over 10^8-event runs.
+  hot-loop-clock        No direct clock reads (<chrono>, clock_gettime,
+                        gettimeofday, *_clock) in src/des or src/queueing:
+                        the DES event loop is the multiplier on every
+                        experiment, so timing enters it only through the
+                        compiled-out STOSCHED_TIME_* macros (util/timestat).
   cmake-coverage        Every src/**/*.cpp is listed in the CMake library
                         sources and every tests/test_*.cpp in STOSCHED_TESTS
                         — an unlisted translation unit silently never builds.
@@ -318,6 +323,34 @@ def rule_float_accumulator(root):
     return out
 
 
+HOT_LOOP_CLOCK_PATTERNS = [
+    (re.compile(r"#\s*include\s*<chrono>"), "includes <chrono>"),
+    (re.compile(r"\bstd\s*::\s*chrono\b"), "uses std::chrono"),
+    (re.compile(r"\bclock_gettime\b"), "calls clock_gettime"),
+    (re.compile(r"\bgettimeofday\b"), "calls gettimeofday"),
+    (re.compile(r"\b(?:steady|system|high_resolution)_clock\b"),
+     "reads a wall clock"),
+]
+
+
+def rule_hot_loop_clock(root):
+    """No direct clock reads in the DES hot path (src/des, src/queueing).
+    Timing enters only through the util/timestat macros, which compile out
+    unless STOSCHED_TIME_STATS is on — a stray steady_clock::now() in an
+    event loop costs ~20ns per call in every build."""
+    out = []
+    for path in cxx_files(root, "src/des", "src/queueing"):
+        code = strip_code(read(path))
+        for pat, what in HOT_LOOP_CLOCK_PATTERNS:
+            for m in pat.finditer(code):
+                out.append(Violation(
+                    rel(root, path), line_of(code, m.start()),
+                    "hot-loop-clock",
+                    f"{what} in the DES hot path — time only through the "
+                    f"STOSCHED_TIME_* macros (compiled out by default)"))
+    return out
+
+
 def rule_cmake_coverage(root):
     """Every source file is wired into the build."""
     cmake = root / "CMakeLists.txt"
@@ -349,6 +382,7 @@ RULES = {
     "umbrella-header": rule_umbrella_header,
     "bench-finish": rule_bench_finish,
     "float-accumulator": rule_float_accumulator,
+    "hot-loop-clock": rule_hot_loop_clock,
     "cmake-coverage": rule_cmake_coverage,
 }
 

@@ -144,6 +144,24 @@ class RuleFiresOnFixture(unittest.TestCase):
         self.assertEqual(self.run_rule("float-accumulator"), [],
                          "float in comments must not fire")
 
+    def test_hot_loop_clock_fires(self):
+        self.skel.add("hot_loop_clock.cpp", "src/des/hot_loop_clock.cpp")
+        found = self.run_rule("hot-loop-clock")
+        msgs = " ".join(v.message for v in found)
+        self.assertGreaterEqual(
+            len(found), 4, "<chrono>, std::chrono, clock_gettime, "
+            "gettimeofday and *_clock are distinct findings")
+        self.assertIn("<chrono>", msgs)
+        self.assertIn("clock_gettime", msgs)
+
+    def test_hot_loop_clock_allows_clocks_outside_hot_path(self):
+        # util/timestat.cpp and bench_common.hpp legitimately read clocks;
+        # the rule only polices src/des and src/queueing.
+        self.skel.add("hot_loop_clock.cpp", "src/util/timed.cpp")
+        self.skel.add("hot_loop_clock.cpp", "bench/bench_timed.cpp")
+        self.assertEqual(self.run_rule("hot-loop-clock"), [],
+                         "clock reads outside the DES hot path are fine")
+
     def test_cmake_coverage_fires(self):
         self.skel.add("unlisted_source.cpp", "src/core/unlisted_source.cpp")
         (self.skel.root / "tests" / "test_unlisted.cpp").write_text(
@@ -177,6 +195,7 @@ class RealTreeIsClean(unittest.TestCase):
             "umbrella-header": "orphan_header.hpp",
             "bench-finish": "bench_bad_exit.cpp",
             "float-accumulator": "float_accumulator.cpp",
+            "hot-loop-clock": "hot_loop_clock.cpp",
             "cmake-coverage": "unlisted_source.cpp",
         }
         self.assertEqual(set(expected), set(lint.RULES),

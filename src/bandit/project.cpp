@@ -23,6 +23,8 @@ void MarkovProject::validate() const {
   }
 }
 
+// rng-audit: sink(instance generator: its sequential draw order IS the
+// reproducibility contract, pinned by the golden tests)
 MarkovProject random_project(std::size_t states, Rng& rng, double reward_lo,
                              double reward_hi) {
   STOSCHED_REQUIRE(states >= 1, "project needs at least one state");

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "util/check.hpp"
+#include "util/contract.hpp"
 
 namespace stosched::batch {
 
@@ -55,6 +56,8 @@ FlowShopOutcome flow_shop_realization(
 FlowShopOutcome simulate_flow_shop(const std::vector<FlowShopJob>& jobs,
                                    const Order& order, bool blocking,
                                    Rng& rng) {
+  STOSCHED_EXPECTS(order.size() == jobs.size(),
+                   "flow shop order must cover every job");
   // Per-job substreams (stage draws sequential within a job's stream): the
   // realized stage matrix depends only on the caller's stream, never on the
   // order argument, so CRN arms run the identical shop.

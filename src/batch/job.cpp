@@ -7,6 +7,8 @@
 
 namespace stosched::batch {
 
+// rng-audit: sink(instance generator: its sequential draw order IS the
+// reproducibility contract, pinned by the golden tests)
 Batch random_batch(std::size_t n, Rng& rng, const BatchGenOptions& opts) {
   STOSCHED_REQUIRE(n > 0, "batch must contain at least one job");
   Batch jobs;
@@ -94,6 +96,7 @@ Order wsept_order(const Batch& jobs) {
   });
 }
 
+// rng-audit: sink(Fisher-Yates consumes one draw per position by design)
 Order random_order(std::size_t n, Rng& rng) {
   Order order = identity_order(n);
   // Fisher–Yates with the library RNG (std::shuffle is not

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/check.hpp"
+#include "util/contract.hpp"
 
 namespace stosched::batch {
 
@@ -33,6 +34,8 @@ ScheduleOutcome schedule_realization(const std::vector<double>& times,
 
 ScheduleOutcome simulate_list_policy(const Batch& jobs, const Order& order,
                                      unsigned machines, Rng& rng) {
+  STOSCHED_EXPECTS(machines >= 1 && order.size() == jobs.size(),
+                   "list policy needs a machine and a full order");
   // Per-job size substreams off a bootstrap root: the realized batch is a
   // function of the caller's stream alone, not of the order argument, so
   // CRN policy arms dispatch the identical workload.

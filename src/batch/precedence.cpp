@@ -7,6 +7,8 @@
 
 namespace stosched::batch {
 
+// rng-audit: sink(instance generator: one attachment draw per node, in
+// node order, is the reproducibility contract)
 InTree random_in_tree(std::size_t n, Rng& rng) {
   STOSCHED_REQUIRE(n >= 1, "tree needs at least one node");
   InTree t;

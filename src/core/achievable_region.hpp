@@ -20,28 +20,19 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
 #include <vector>
 
+#include "lp/adaptive_greedy.hpp"
 #include "queueing/mg1.hpp"
 
 namespace stosched::core {
 
-/// Output of the adaptive-greedy peeling.
-struct AdaptiveGreedyResult {
-  std::vector<double> index;          ///< per class; higher = serve first
-  std::vector<std::size_t> priority;  ///< classes ordered by index, highest first
-  std::vector<double> y;              ///< dual increments, one per peel step
-};
-
-/// Adaptive greedy on an (extended) polymatroid. `coeffs(in_set)` must
-/// return the vector A^S with entries A_j^S for the classes j with
-/// in_set[j] != 0 (other entries ignored); costs are the per-class holding
-/// costs c_j of the minimization min Σ c_j x_j.
-AdaptiveGreedyResult adaptive_greedy(
-    std::size_t n,
-    const std::function<std::vector<double>(const std::vector<char>&)>& coeffs,
-    const std::vector<double>& costs);
+// The adaptive-greedy peeling engine itself is pure LP-duality machinery and
+// lives in lp/adaptive_greedy.hpp so lower modules (queueing/klimov) can use
+// it without a queueing -> core back-edge; re-exported here because it is
+// the survey's unifying algorithm and core/ is its natural API home.
+using lp::AdaptiveGreedyResult;
+using lp::adaptive_greedy;
 
 // ---------------------------------------------------------------------------
 // The multiclass M/G/1 polymatroid (no feedback).

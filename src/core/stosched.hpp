@@ -21,6 +21,7 @@
 #pragma once
 
 #include "util/check.hpp"
+#include "util/contract.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -34,6 +35,7 @@
 #include "des/fifo_arena.hpp"
 #include "des/simulator.hpp"
 
+#include "lp/adaptive_greedy.hpp"
 #include "lp/simplex.hpp"
 
 #include "mdp/mdp.hpp"

@@ -54,6 +54,7 @@ void CalendarEventQueue::clear() noexcept {
   width_ = 1.0;
   min_valid_ = false;
   flush_popped();
+  STOSCHED_CONTRACT_CODE(has_last_pop_ = false;);
 }
 
 void CalendarEventQueue::reserve(std::size_t n) {
@@ -125,6 +126,16 @@ const Event& CalendarEventQueue::top() const { return locate_min(); }
 
 Event CalendarEventQueue::pop() {
   const Event out = locate_min();
+  // Pop monotonicity — the same (time, seq) contract as DaryEventHeap,
+  // asserted on the calendar side of the shootout so order-equivalence is
+  // checked structurally in every contract build, not only by the property
+  // test in tests/test_des.cpp.
+  STOSCHED_INVARIANT(
+      !has_last_pop_ || out.time > last_pop_time_ ||
+          (out.time == last_pop_time_ && out.seq > last_pop_seq_),
+      "calendar queue popped out of (time, seq) order");
+  STOSCHED_CONTRACT_CODE(has_last_pop_ = true; last_pop_time_ = out.time;
+                         last_pop_seq_ = out.seq;);
   buckets_[min_bucket_].pop_back();
   --size_;
   ++popped_;

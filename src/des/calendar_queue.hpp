@@ -24,6 +24,7 @@
 
 #include "des/event_queue.hpp"
 #include "util/check.hpp"
+#include "util/contract.hpp"
 
 namespace stosched {
 
@@ -75,6 +76,11 @@ class CalendarEventQueue {
   std::size_t size_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t popped_ = 0;
+
+  // Ghost state for the pop-monotonicity contract (absent in Release).
+  STOSCHED_CONTRACT_STATE(bool has_last_pop_ = false;)
+  STOSCHED_CONTRACT_STATE(double last_pop_time_ = 0.0;)
+  STOSCHED_CONTRACT_STATE(std::uint64_t last_pop_seq_ = 0;)
 
   // Cached location of the minimum event, maintained by top()/pop() and
   // invalidated by push (mutable: top() is logically const).

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/contract.hpp"
 
 namespace stosched {
 
@@ -77,6 +78,7 @@ class DaryEventHeap {
     heap_.clear();
     next_seq_ = 0;
     flush_popped();
+    STOSCHED_CONTRACT_CODE(has_last_pop_ = false;);
   }
 
   void reserve(std::size_t n) { heap_.reserve(n); }
@@ -99,6 +101,14 @@ class DaryEventHeap {
     STOSCHED_ASSERT(!heap_.empty(), "pop() on empty event heap");
     ++popped_;
     Event out = heap_.front();
+    // Pop monotonicity: the FES contract every simulator's clock rests on —
+    // (time, seq) keys leave in nondecreasing order between clear()s.
+    STOSCHED_INVARIANT(
+        !has_last_pop_ || out.time > last_pop_time_ ||
+            (out.time == last_pop_time_ && out.seq > last_pop_seq_),
+        "event heap popped out of (time, seq) order");
+    STOSCHED_CONTRACT_CODE(has_last_pop_ = true; last_pop_time_ = out.time;
+                           last_pop_seq_ = out.seq;);
     heap_.front() = heap_.back();
     heap_.pop_back();
     if (!heap_.empty()) sift_down(0);
@@ -148,6 +158,10 @@ class DaryEventHeap {
   std::vector<Event> heap_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t popped_ = 0;  ///< pops since the last flush (see clear())
+  // Ghost state for the pop-monotonicity contract (absent in Release).
+  STOSCHED_CONTRACT_STATE(bool has_last_pop_ = false;)
+  STOSCHED_CONTRACT_STATE(double last_pop_time_ = 0.0;)
+  STOSCHED_CONTRACT_STATE(std::uint64_t last_pop_seq_ = 0;)
 };
 
 /// The default future-event set used by all simulators in the library.

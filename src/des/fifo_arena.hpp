@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/contract.hpp"
 
 namespace stosched {
 
@@ -49,12 +50,14 @@ class FifoArena {
 
   void push_back(const T& value) {
     if (size_ == buf_.size()) grow();
+    ring_invariant();
     buf_[(head_ + size_) & mask_] = value;
     ++size_;
   }
 
   void push_front(const T& value) {
     if (size_ == buf_.size()) grow();
+    ring_invariant();
     head_ = (head_ + mask_) & mask_;  // head - 1, mod capacity
     buf_[head_] = value;
     ++size_;
@@ -67,11 +70,23 @@ class FifoArena {
 
   void pop_front() {
     STOSCHED_ASSERT(size_ > 0, "pop_front() on empty FifoArena");
+    ring_invariant();
     head_ = (head_ + 1) & mask_;
     --size_;
   }
 
  private:
+  /// The ring's structural invariants, checked (contract builds only) at
+  /// every mutation: a power-of-two backing array whose mask matches it,
+  /// head inside the ring, and occupancy within capacity. A violation means
+  /// the index algebra below has been edited wrong, not a caller error.
+  void ring_invariant() const noexcept {
+    STOSCHED_INVARIANT(!buf_.empty() && (buf_.size() & mask_) == 0 &&
+                           mask_ == buf_.size() - 1,
+                       "FifoArena capacity/mask relation broken");
+    STOSCHED_INVARIANT(head_ <= mask_, "FifoArena head outside the ring");
+    STOSCHED_INVARIANT(size_ <= buf_.size(), "FifoArena overfull");
+  }
   static std::size_t round_up_pow2(std::size_t n) noexcept {
     std::size_t c = kMinCapacity;
     while (c < n) c <<= 1;

@@ -6,6 +6,7 @@
 #include "batch/parallel_machines.hpp"
 #include "batch/single_machine.hpp"
 #include "util/check.hpp"
+#include "util/contract.hpp"
 
 namespace stosched::experiment {
 
@@ -329,6 +330,7 @@ PairedResult compare_queue_policies(const QueueScenario& s,
                                     const std::vector<QueuePolicy>& arms,
                                     const EngineOptions& opt,
                                     Pairing pairing) {
+  STOSCHED_EXPECTS(!arms.empty(), "paired comparison needs at least one arm");
   std::vector<queueing::SimOptions> sim_opts;
   sim_opts.reserve(arms.size());
   for (const auto& a : arms) sim_opts.push_back(arm_options(s, a));
@@ -418,6 +420,7 @@ PairedResult compare_tree_policies(const TreeScenario& s,
 PairedResult compare_online_policies(
     const OnlineScenario& s, const std::vector<online::OnlinePolicyPtr>& arms,
     const EngineOptions& opt, Pairing pairing) {
+  STOSCHED_EXPECTS(!arms.empty(), "paired comparison needs at least one arm");
   for (const auto& a : arms)
     STOSCHED_REQUIRE(a != nullptr, "online policy arm must be non-null");
   return run_paired(opt, arms.size(), metric_count(s), pairing,

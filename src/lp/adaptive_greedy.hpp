@@ -1,0 +1,40 @@
+// adaptive_greedy.hpp — greedy dual peeling over (extended) polymatroids.
+//
+// The adaptive-greedy algorithm of Bertsimas–Niño-Mora [4] optimizes a
+// linear cost over a performance polytope defined by conservation laws
+//     Σ_{j∈S} A_j^S x_j >= b(S)  for all S ⊂ N,  equality at S = N,
+// by peeling classes from lowest priority upward and accumulating dual
+// increments; it yields both the optimal priority order and the priority
+// *indices* (cµ for the plain M/G/1, Klimov's indices with feedback,
+// Gittins' indices for branching bandits).
+//
+// This is pure LP-duality machinery: it needs only the coefficient callback
+// A and the cost vector — b(S) never enters — and therefore lives in lp/
+// (the optimization layer) so model modules (queueing/, core/) can share it
+// without depending on each other. core/achievable_region.hpp re-exports it
+// under stosched::core for the survey-facing API.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace stosched::lp {
+
+/// Output of the adaptive-greedy peeling.
+struct AdaptiveGreedyResult {
+  std::vector<double> index;          ///< per class; higher = serve first
+  std::vector<std::size_t> priority;  ///< classes ordered by index, highest first
+  std::vector<double> y;              ///< dual increments, one per peel step
+};
+
+/// Adaptive greedy on an (extended) polymatroid. `coeffs(in_set)` must
+/// return the vector A^S with entries A_j^S for the classes j with
+/// in_set[j] != 0 (other entries ignored); costs are the per-class holding
+/// costs c_j of the minimization min Σ c_j x_j.
+AdaptiveGreedyResult adaptive_greedy(
+    std::size_t n,
+    const std::function<std::vector<double>(const std::vector<char>&)>& coeffs,
+    const std::vector<double>& costs);
+
+}  // namespace stosched::lp

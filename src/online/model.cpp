@@ -79,6 +79,8 @@ Environment unrelated_machines(std::vector<std::vector<double>> speed) {
   return env;
 }
 
+// rng-audit: sink(workload generator: the type draw interleaves with the
+// forwarded arrival/size/sample streams in release order by contract)
 OnlineInstance generate_online_instance(const ArrivalProcess& arrival,
                                         const std::vector<JobType>& types,
                                         double horizon, Rng& arrival_rng,

@@ -117,6 +117,8 @@ class RandomAssignmentPolicy final : public OnlinePolicy {
     return expected_proc(ctx, job, machine);
   }
 
+  // rng-audit: sink(the random-assignment baseline is the one policy whose
+  // job is to consume the policy substream: one draw per arrival)
   std::size_t assign(const OnlineContext&, const OnlineJob&,
                      const std::vector<MachineState>& machines, double,
                      Rng& rng) const override {

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/check.hpp"
+#include "util/contract.hpp"
 
 namespace stosched::online {
 
@@ -38,6 +39,14 @@ void start_next(MachineState& state, double& realized_end,
   serving = entry.job;
   realized_end =
       now + env.proc_time(machine, inst[entry.job].type, inst[entry.job].size);
+  // Believed-vs-realized separation: both clocks advance from `now`
+  // independently — the policy-visible believed end and the hidden realized
+  // end may disagree, but neither may point into the past, or a later
+  // completion event would run the simulation clock backwards.
+  STOSCHED_ENSURES(state.believed_end >= now,
+                   "believed completion scheduled in the past");
+  STOSCHED_ENSURES(realized_end >= now,
+                   "realized completion scheduled in the past");
 }
 
 }  // namespace
@@ -60,6 +69,8 @@ OnlineResult simulate_online(const OnlineInstance& inst,
   std::vector<double> completion(inst.size(), 0.0);
 
   std::size_t next_arrival = 0;
+  // Ghost clock for the event-monotonicity contract (absent in Release).
+  STOSCHED_CONTRACT_STATE(double contract_last_event = 0.0;)
   for (;;) {
     // Next event: the earliest realized completion or the next arrival;
     // simultaneous events complete first, so the arriving job observes the
@@ -74,6 +85,11 @@ OnlineResult simulate_online(const OnlineInstance& inst,
     const double arrival_time =
         next_arrival < inst.size() ? inst[next_arrival].release : kInf;
     if (done_machine == m && arrival_time == kInf) break;
+
+    STOSCHED_INVARIANT(std::min(done_time, arrival_time) >= contract_last_event,
+                       "online event clock ran backwards");
+    STOSCHED_CONTRACT_CODE(contract_last_event =
+                               std::min(done_time, arrival_time););
 
     if (done_time <= arrival_time) {
       completion[serving[done_machine]] = done_time;

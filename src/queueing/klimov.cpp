@@ -4,7 +4,7 @@
 #include <cmath>
 #include <numeric>
 
-#include "core/achievable_region.hpp"
+#include "lp/adaptive_greedy.hpp"
 #include "mdp/solve.hpp"
 #include "util/check.hpp"
 
@@ -58,7 +58,7 @@ KlimovResult klimov_indices(const std::vector<double>& service_means,
                             const std::vector<double>& holding_costs) {
   const std::size_t n = service_means.size();
   STOSCHED_REQUIRE(holding_costs.size() == n, "shape mismatch");
-  const auto ag = core::adaptive_greedy(
+  const auto ag = lp::adaptive_greedy(
       n,
       [&](const std::vector<char>& in_set) {
         return exit_work(service_means, feedback, in_set);

@@ -8,6 +8,7 @@
 #include "des/event_queue.hpp"
 #include "des/fifo_arena.hpp"
 #include "util/check.hpp"
+#include "util/contract.hpp"
 #include "util/stats.hpp"
 #include "util/timestat.hpp"
 
@@ -345,8 +346,13 @@ struct Sim {
 
 SimResult simulate_mg1(const std::vector<ClassSpec>& classes,
                        const SimOptions& options, Rng& rng) {
+  STOSCHED_EXPECTS(!classes.empty(), "simulate_mg1 needs at least one class");
   Sim sim(classes, options, rng);
-  return sim.run();
+  const SimResult res = sim.run();
+  // A single server's busy fraction is a time average of an indicator.
+  STOSCHED_ENSURES(res.utilization >= 0.0 && res.utilization <= 1.0 + 1e-9,
+                   "M/G/1 utilization outside [0, 1]");
+  return res;
 }
 
 std::size_t mg1_metric_count(std::size_t num_classes) {

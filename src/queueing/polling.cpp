@@ -6,6 +6,7 @@
 #include "des/event_queue.hpp"
 #include "des/fifo_arena.hpp"
 #include "util/check.hpp"
+#include "util/contract.hpp"
 #include "util/stats.hpp"
 #include "util/timestat.hpp"
 
@@ -279,8 +280,17 @@ struct PollingSim {
 
 PollingResult simulate_polling(const std::vector<ClassSpec>& classes,
                                const PollingOptions& options, Rng& rng) {
+  STOSCHED_EXPECTS(!classes.empty(),
+                   "simulate_polling needs at least one queue");
   PollingSim sim(classes, options, rng);
-  return sim.run();
+  const PollingResult res = sim.run();
+  // The server partitions time into serving / switching / idle, so the two
+  // reported fractions are each in [0, 1] and sum to at most 1.
+  STOSCHED_ENSURES(res.serving_fraction >= 0.0 && res.switching_fraction >= 0.0,
+                   "polling time fractions must be nonnegative");
+  STOSCHED_ENSURES(res.serving_fraction + res.switching_fraction <= 1.0 + 1e-9,
+                   "polling serving+switching fractions exceed 1");
+  return res;
 }
 
 std::size_t polling_metric_count(std::size_t num_queues) {

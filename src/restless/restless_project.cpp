@@ -23,6 +23,8 @@ void check_stochastic(const std::vector<std::vector<double>>& p,
   }
 }
 
+// rng-audit: sink(row-major matrix fill: the generator family's shared
+// draw-order contract)
 std::vector<std::vector<double>> random_stochastic(std::size_t n, Rng& rng) {
   std::vector<std::vector<double>> p(n, std::vector<double>(n, 0.0));
   for (std::size_t s = 0; s < n; ++s) {
@@ -49,6 +51,8 @@ void RestlessProject::validate() const {
   check_stochastic(trans_active, n);
 }
 
+// rng-audit: sink(instance generator: its sequential draw order IS the
+// reproducibility contract, pinned by the golden tests)
 RestlessProject random_restless_project(std::size_t states, Rng& rng,
                                         double reward_scale) {
   STOSCHED_REQUIRE(states >= 1, "project needs at least one state");

@@ -1,0 +1,20 @@
+#include "util/contract.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace stosched::detail {
+
+[[noreturn]] void contract_violation(const char* kind, const char* expr,
+                                     const char* file, int line,
+                                     const char* msg) noexcept {
+  // fprintf, not iostreams: the handler must work from noexcept hot paths
+  // and during static destruction, and must not allocate under a failing
+  // AddressSanitizer run.
+  std::fprintf(stderr, "stosched contract violation — %s failed: (%s) at %s:%d — %s\n",
+               kind, expr, file, line, msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace stosched::detail

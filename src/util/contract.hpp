@@ -1,0 +1,88 @@
+// contract.hpp — compiled-out contracts for the hot paths.
+//
+// Three macro families, complementing util/check.hpp:
+//
+//   STOSCHED_EXPECTS(cond, msg)    precondition at a function entry
+//   STOSCHED_ENSURES(cond, msg)    postcondition before a return
+//   STOSCHED_INVARIANT(cond, msg)  structural invariant inside an algorithm
+//
+// Division of labor with check.hpp — the policy the static rule
+// `entry-contract` (tools/ast_audit.py) enforces:
+//
+//   * STOSCHED_REQUIRE stays the *caller-facing* validation: always on,
+//     throws std::invalid_argument, used for config/argument checking that
+//     tests exercise with EXPECT_THROW. Cheap, outside hot loops.
+//   * The STOSCHED_EXPECTS/ENSURES/INVARIANT family is for checks that are
+//     too hot or too internal to pay for in Release: per-event loop
+//     invariants, ring-buffer index algebra, pop monotonicity of the
+//     future-event sets. They compile to nothing — the condition is NOT
+//     evaluated — unless STOSCHED_CONTRACTS is defined, which the build
+//     system turns on for Debug builds and every STOSCHED_SANITIZE build
+//     (so ASan/UBSan/TSan CI legs run with contracts armed, where a
+//     violation's abort() produces a symbolized sanitizer-grade report).
+//     Release binaries carry zero overhead; the events/sec counters in
+//     BENCH_*.json guard that claim commit over commit.
+//
+// A failed contract is an internal bug, never a recoverable condition, so
+// the handler prints and abort()s rather than throwing: stack intact for
+// sanitizers and core dumps, and no unwinding through noexcept hot paths.
+//
+// Ghost state: some contracts need bookkeeping that must not exist in
+// Release builds (e.g. the last-popped key of an event queue). Declare it
+// with STOSCHED_CONTRACT_STATE(declaration;) and mutate it inside
+// STOSCHED_CONTRACT_CODE(...) — both expand to nothing when contracts are
+// off. All TUs of one build share one STOSCHED_CONTRACTS setting (it is a
+// global compile definition), so contract-only members never cause layout
+// mismatches across translation units.
+#pragma once
+
+namespace stosched::detail {
+
+/// Print `kind: (expr) at file:line — msg` to stderr and abort(). Always
+/// compiled (the self-test exercises it in every build type); only the
+/// macros below are conditional.
+[[noreturn]] void contract_violation(const char* kind, const char* expr,
+                                     const char* file, int line,
+                                     const char* msg) noexcept;
+
+}  // namespace stosched::detail
+
+#ifdef STOSCHED_CONTRACTS
+
+#define STOSCHED_CONTRACTS_ACTIVE 1
+
+#define STOSCHED_CONTRACT_CHECK_(kind, cond, msg)                         \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::stosched::detail::contract_violation(kind, #cond, __FILE__,       \
+                                             __LINE__, (msg));            \
+  } while (0)
+
+#define STOSCHED_EXPECTS(cond, msg) \
+  STOSCHED_CONTRACT_CHECK_("precondition", cond, msg)
+#define STOSCHED_ENSURES(cond, msg) \
+  STOSCHED_CONTRACT_CHECK_("postcondition", cond, msg)
+#define STOSCHED_INVARIANT(cond, msg) \
+  STOSCHED_CONTRACT_CHECK_("invariant", cond, msg)
+
+/// Declare contract-only ("ghost") state, e.g. a class member tracking the
+/// last value an accessor returned. Pass a complete declaration including
+/// the trailing semicolon.
+#define STOSCHED_CONTRACT_STATE(...) __VA_ARGS__
+
+/// Execute contract-only statements (updates to ghost state).
+#define STOSCHED_CONTRACT_CODE(...) \
+  do {                              \
+    __VA_ARGS__                     \
+  } while (0)
+
+#else  // !STOSCHED_CONTRACTS — every macro is token-free in Release.
+
+#define STOSCHED_CONTRACTS_ACTIVE 0
+#define STOSCHED_EXPECTS(cond, msg) ((void)0)
+#define STOSCHED_ENSURES(cond, msg) ((void)0)
+#define STOSCHED_INVARIANT(cond, msg) ((void)0)
+#define STOSCHED_CONTRACT_STATE(...)
+#define STOSCHED_CONTRACT_CODE(...) ((void)0)
+
+#endif  // STOSCHED_CONTRACTS

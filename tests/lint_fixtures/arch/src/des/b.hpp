@@ -1,0 +1,8 @@
+// Fixture: a legitimate downward edge (des -> util, declared).
+#pragma once
+
+#include "util/a.hpp"
+
+namespace fixture {
+inline int b() { return a() + 1; }
+}  // namespace fixture

@@ -1,0 +1,6 @@
+// Fixture: a clean layer-0 header.
+#pragma once
+
+namespace fixture {
+inline int a() { return 1; }
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: the architectural sin arch_check exists to catch — a layer-0
+// module reaching UP into layer 1 (util -> des). Both arch-undeclared-edge
+// and arch-back-edge must fire on this include.
+#pragma once
+
+#include "des/b.hpp"
+
+namespace fixture {
+inline int bad() { return b() + 1; }
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: entry-contract (tools/ast_audit.py).
+//
+// A public entry point (simulate_* under src/queueing|batch|online) whose
+// opening statements contain no STOSCHED_EXPECTS / STOSCHED_REQUIRE /
+// validate() call: garbage inputs sail straight into the hot loop. The
+// rule demands validation within the first eight top-level statements.
+#include <vector>
+
+namespace fixture {
+
+inline double simulate_widget(const std::vector<double>& spans,
+                              double horizon) {
+  double area = 0.0;  // BAD: no input validation anywhere up front
+  for (double s : spans) area += s;
+  return area * horizon;
+}
+
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// Fixture: strip_code lexer regressions (tools/lint_stosched.py).
+//
+// Three constructs the original lexer mis-tokenized, each able to blank the
+// rest of the file and hide real violations from every text-based rule:
+//   * digit separators — an odd count of ' across numeric literals opened a
+//     bogus char literal that swallowed everything to end-of-file;
+//   * prefixed raw strings (u8R / uR / UR / LR) — the encoding prefix broke
+//     raw-string recognition;
+//   * an identifier ending in R glued to a string (FIXTURE_TAG_R"(...)") —
+//     not a raw string at all, but was lexed as one.
+// The mt19937 at the bottom is the sentinel: raw-random must still see it
+// after the lexer has walked every trap above.
+#include <cstdint>
+#include <random>
+
+namespace fixture {
+
+constexpr std::uint64_t kReps = 1'000'000'0;  // three separators: odd count
+inline const char* kQuery = u8R"sql(SELECT "seed" FROM runs)sql";
+inline const wchar_t* kWide = LR"(one more \" prefixed raw string)";
+
+}  // namespace fixture
+
+#define FIXTURE_TAG_R"(an ordinary string glued to the identifier)"
+
+namespace fixture {
+
+inline std::mt19937 hidden_generator;  // BAD: the sentinel the lexer exposes
+
+}  // namespace fixture

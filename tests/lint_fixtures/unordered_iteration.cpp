@@ -1,0 +1,28 @@
+// Fixture: unordered-iteration (tools/ast_audit.py).
+//
+// Two flavors of order nondeterminism the rule must flag:
+//   * range-for over a std::unordered_map — iteration order is a function
+//     of the hash seed and rehash history, not of the data;
+//   * a pointer-keyed std::map — ordered, but by allocation address, which
+//     varies run to run.
+// Lookups (find/emplace) on unordered containers stay legal and appear
+// here unflagged.
+#include <map>
+#include <unordered_map>
+
+namespace fixture {
+
+inline double sum_rates() {
+  std::unordered_map<int, double> rates;
+  rates.emplace(0, 1.0);
+  rates.emplace(1, 2.0);
+  double total = 0.0;
+  for (const auto& kv : rates) total += kv.second;  // BAD: hash order
+  return total;
+}
+
+struct Registry {
+  std::map<const char*, int> by_name;  // BAD: address-ordered iteration
+};
+
+}  // namespace fixture

@@ -65,10 +65,20 @@ class Violation:
 # C++ text handling
 # ---------------------------------------------------------------------------
 
+# A literal can open with an encoding prefix (u8, u, U, L), an R for raw
+# strings, or bare quotes. The prefix is only a prefix when the character
+# before it is not part of an identifier — `FOO_R"(x)"` is the identifier
+# FOO_R followed by an ordinary string, not a raw string.
+_LIT_START_RE = re.compile(r'(?:u8|[uUL])?(R?)(["\'])')
+_RAW_OPEN_RE = re.compile(r'(?:u8|[uUL])?R"([^\s()\\]{0,16})\(')
+
+
 def strip_code(text):
     """Blank out comments and string/char literals, preserving newlines (and
-    therefore line numbers and offsets). Handles //, /* */, "..." with
-    escapes, '...' and R"delim(...)delim" raw strings."""
+    therefore line numbers and offsets). Handles //, /* */, "..." and '...'
+    with escapes, encoding prefixes (u8/u/U/L), (prefixed) raw strings
+    R"delim(...)delim", and digit separators (1'000'000 opens no char
+    literal)."""
     out = list(text)
     i, n = 0, len(text)
 
@@ -77,9 +87,20 @@ def strip_code(text):
             if out[k] != "\n":
                 out[k] = " "
 
+    def skip_quoted(start, quote):
+        """Blank a non-raw literal body whose opening quote is at `start`;
+        return the index just past the closing quote."""
+        j = start + 1
+        while j < n and text[j] != quote:
+            j += 2 if text[j] == "\\" else 1
+        blank(start + 1, min(j, n))
+        return min(j, n) + 1
+
     while i < n:
         c = text[i]
         nxt = text[i + 1] if i + 1 < n else ""
+        prev = text[i - 1] if i else ""
+        ident_prev = prev.isalnum() or prev == "_"
         if c == "/" and nxt == "/":
             end = text.find("\n", i)
             end = n if end == -1 else end
@@ -90,28 +111,30 @@ def strip_code(text):
             end = n if end == -1 else end + 2
             blank(i, end)
             i = end
-        elif c == "R" and text[i:i + 2] == 'R"':
-            m = re.match(r'R"([^\s()\\]{0,16})\(', text[i:])
-            if not m:
+        elif c in 'uULR\'"' and not ident_prev:
+            m = _LIT_START_RE.match(text, i)
+            if m is None:
                 i += 1
                 continue
-            close = ")" + m.group(1) + '"'
-            end = text.find(close, i + m.end())
-            end = n if end == -1 else end + len(close)
-            blank(i, end)
-            i = end
+            if m.group(1):
+                raw = _RAW_OPEN_RE.match(text, i)
+                if raw:
+                    close = ")" + raw.group(1) + '"'
+                    end = text.find(close, raw.end())
+                    end = n if end == -1 else end + len(close)
+                    blank(i, end)
+                    i = end
+                    continue
+                # `R"` with a malformed delimiter: lex as an ordinary string.
+            i = skip_quoted(m.end() - 1, m.group(2))
         elif c == '"':
-            j = i + 1
-            while j < n and text[j] != '"':
-                j += 2 if text[j] == "\\" else 1
-            blank(i + 1, min(j, n))
-            i = min(j, n) + 1
+            # Quote glued to an identifier (macro juxtaposition, operator""):
+            # still an ordinary string boundary.
+            i = skip_quoted(i, '"')
         elif c == "'":
-            j = i + 1
-            while j < n and text[j] != "'":
-                j += 2 if text[j] == "\\" else 1
-            blank(i + 1, min(j, n))
-            i = min(j, n) + 1
+            # Glued to an identifier/digit: a digit separator (1'000'000),
+            # not the start of a char literal.
+            i += 1
         else:
             i += 1
     return "".join(out)

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Self-test for tools/arch_check.py (tier-1 ctest `arch_check_selftest`).
+
+Two proof obligations, mirroring test_lint_stosched.py:
+  * every rule FIRES on a deliberately-bad input (the committed fixture
+    tree under tests/lint_fixtures/arch/ plus synthetic temp trees), so a
+    regression that silently disables a rule fails here;
+  * the real tree is CLEAN, including DOT freshness, so the manifest can
+    never drift from the actual include graph unnoticed.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import unittest
+from pathlib import Path
+
+import arch_check
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURE_ROOT = REPO_ROOT / "tests" / "lint_fixtures" / "arch"
+
+
+def write_tree(root: Path, manifest: dict, files: dict) -> None:
+    (root / "tools").mkdir(parents=True, exist_ok=True)
+    (root / "tools" / "arch_layers.json").write_text(
+        json.dumps(manifest), encoding="utf-8")
+    for rel, text in files.items():
+        path = root / "src" / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+
+
+def run_graph(root: Path, check_dot: bool = False) -> list:
+    manifest = arch_check.load_manifest(root / "tools" / "arch_layers.json")
+    dot = (root / "docs" / "arch.dot") if check_dot else None
+    return arch_check.check_graph(root, manifest, dot)
+
+
+def rules_of(violations) -> set:
+    return {v.rule for v in violations}
+
+
+class FixtureTreeFires(unittest.TestCase):
+    """The committed fixture's upward include trips both edge rules."""
+
+    def test_back_edge_and_undeclared_edge_fire(self):
+        manifest = arch_check.load_manifest(FIXTURE_ROOT / "arch_layers.json")
+        violations = arch_check.check_graph(FIXTURE_ROOT, manifest, None)
+        rules = rules_of(violations)
+        self.assertIn("arch-undeclared-edge", rules)
+        self.assertIn("arch-back-edge", rules)
+        witnesses = [v.path for v in violations
+                     if v.rule == "arch-back-edge"]
+        self.assertEqual(witnesses, ["src/util/bad.hpp"])
+
+
+class SyntheticTreesFire(unittest.TestCase):
+    def test_stale_declared_edge_fires(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            write_tree(root,
+                       {"layers": [["util"], ["des"]],
+                        "edges": {"des": ["util"]}, "umbrella": []},
+                       {"util/a.hpp": "#pragma once\n",
+                        "des/b.hpp": "#pragma once\n"})  # edge gone
+            violations = run_graph(root)
+            self.assertEqual(rules_of(violations), {"arch-stale-edge"})
+
+    def test_include_cycle_fires(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            write_tree(root,
+                       {"layers": [["util"]], "edges": {}, "umbrella": []},
+                       {"util/x.hpp": '#pragma once\n#include "util/y.hpp"\n',
+                        "util/y.hpp": '#pragma once\n#include "util/x.hpp"\n'})
+            violations = run_graph(root)
+            self.assertEqual(rules_of(violations), {"arch-include-cycle"})
+
+    def test_unknown_module_fires_both_directions(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            write_tree(root,
+                       {"layers": [["util"], ["ghost"]],
+                        "edges": {}, "umbrella": []},
+                       {"util/a.hpp": "#pragma once\n",
+                        "rogue/r.hpp": "#pragma once\n"})
+            violations = run_graph(root)
+            self.assertEqual(rules_of(violations), {"arch-unknown-module"})
+            self.assertEqual(len(violations), 2)  # rogue undeclared + ghost
+
+    def test_same_layer_edge_is_a_back_edge(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            write_tree(root,
+                       {"layers": [["a", "b"]],
+                        "edges": {"a": ["b"]}, "umbrella": []},
+                       {"a/a.hpp": '#pragma once\n#include "b/b.hpp"\n',
+                        "b/b.hpp": "#pragma once\n"})
+            violations = run_graph(root)
+            self.assertEqual(rules_of(violations), {"arch-back-edge"})
+
+    def test_umbrella_header_is_exempt(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            write_tree(root,
+                       {"layers": [["util"], ["core"]],
+                        "edges": {}, "umbrella": ["core/all.hpp"]},
+                       {"util/a.hpp": "#pragma once\n",
+                        "core/all.hpp":
+                            '#pragma once\n#include "util/a.hpp"\n'})
+            self.assertEqual(run_graph(root), [])
+
+    def test_dot_staleness_fires_and_write_repairs(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            write_tree(root,
+                       {"layers": [["util"], ["des"]],
+                        "edges": {"des": ["util"]}, "umbrella": []},
+                       {"util/a.hpp": "#pragma once\n",
+                        "des/b.hpp":
+                            '#pragma once\n#include "util/a.hpp"\n'})
+            self.assertEqual(rules_of(run_graph(root, check_dot=True)),
+                             {"arch-dot-stale"})
+            self.assertEqual(arch_check.main(
+                ["--root", str(root), "--write-dot"]), 0)
+            self.assertEqual(run_graph(root, check_dot=True), [])
+
+
+class HeaderSelfContainment(unittest.TestCase):
+    def test_leaky_header_fires(self):
+        if arch_check.find_compiler() is None:
+            self.skipTest("no C++ compiler on PATH")
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            write_tree(root,
+                       {"layers": [["util"]], "edges": {}, "umbrella": []},
+                       {"util/leaky.hpp":
+                            "#pragma once\n"
+                            "inline std::size_t f() { return 0; }\n"})
+            manifest = arch_check.load_manifest(
+                root / "tools" / "arch_layers.json")
+            violations = arch_check.check_headers(root, manifest, jobs=2)
+            self.assertEqual(rules_of(violations),
+                             {"arch-header-not-self-contained"})
+
+
+class RealTreeIsClean(unittest.TestCase):
+    def test_graph_matches_manifest_and_dot_is_fresh(self):
+        self.assertEqual(run_graph(REPO_ROOT, check_dot=True), [])
+
+    def test_manifest_is_strictly_layered(self):
+        # The declared DAG itself must honor the layering, independently of
+        # the tree: a manifest edit cannot smuggle in an upward allowance.
+        manifest = arch_check.load_manifest(
+            REPO_ROOT / "tools" / "arch_layers.json")
+        layer_of = manifest["_layer_of"]
+        for mod, deps in manifest["_edges"].items():
+            for dep in deps:
+                self.assertGreater(
+                    layer_of[mod], layer_of[dep],
+                    f"declared edge {mod} -> {dep} is not strictly downward")
+
+
+if __name__ == "__main__":
+    unittest.main()

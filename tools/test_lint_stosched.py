@@ -177,6 +177,58 @@ class RuleFiresOnFixture(unittest.TestCase):
                          "the listed skeleton source is covered")
 
 
+class StripCodeLexer(unittest.TestCase):
+    """strip_code must survive the literal forms that once blanked to EOF
+    (every text rule in this file and in ast_audit.py reads its output)."""
+
+    def test_digit_separators_open_no_char_literal(self):
+        src = ("constexpr long kReps = 1'000'000'0;\n"
+               "std::mt19937 gen;\n")
+        self.assertEqual(lint.strip_code(src), src,
+                         "an odd count of digit separators must not "
+                         "swallow the rest of the file")
+
+    def test_char_literals_still_blank(self):
+        src = "char c = 'x'; char q = '\\''; int after = 1;\n"
+        stripped = lint.strip_code(src)
+        self.assertNotIn("x", stripped)
+        self.assertIn("int after = 1;", stripped)
+
+    def test_prefixed_raw_strings_blank_to_their_delimiter(self):
+        src = ('const char* q = u8R"sql(SELECT "seed")sql";\n'
+               'const wchar_t* w = LR"(raw \\" text)";\n'
+               "std::mt19937 gen;\n")
+        stripped = lint.strip_code(src)
+        self.assertNotIn("SELECT", stripped)
+        self.assertNotIn("raw", stripped)
+        self.assertIn("std::mt19937 gen;", stripped)
+
+    def test_identifier_glued_quote_is_an_ordinary_string(self):
+        # FOO_R"(...)"  is the identifier FOO_R followed by a plain string:
+        # the body must be blanked as a *non-raw* literal (the old lexer
+        # raw-matched it, so an embedded )" changed where it stopped).
+        src = 'FOO_R"(a)\\" tail)" int after = 2;\n'
+        stripped = lint.strip_code(src)
+        self.assertIn("FOO_R", stripped)
+        self.assertNotIn("tail", stripped)
+        self.assertIn("int after = 2;", stripped)
+
+    def test_lexer_fixture_hides_nothing_from_raw_random(self):
+        skel = Skeleton()
+        try:
+            skel.add("raw_string_strip.cpp", "src/core/tricky.cpp")
+            found = lint.run_rules(skel.root, ["raw-random"])
+            self.assertEqual(len(found), 2,
+                             "<random> and the mt19937 sentinel behind the "
+                             "lexer traps must both fire")
+            # The engine sentinel sits BELOW every trap: seeing it proves
+            # the lexer walked the separators and raw strings intact.
+            self.assertTrue(any("random engine" in v.message and v.line > 24
+                                for v in found))
+        finally:
+            skel.cleanup()
+
+
 class RealTreeIsClean(unittest.TestCase):
     """The actual repository passes every rule (fixtures are excluded)."""
 

@@ -24,6 +24,7 @@
 #include <string>
 
 #include "des/event_queue.hpp"
+#include "lp/simplex.hpp"
 #include "util/table.hpp"
 
 namespace stosched::bench {
@@ -123,7 +124,8 @@ inline std::string json_cell(const std::string& cell) {
 
 inline void write_json(const Table& table, const std::string& path,
                        double wall_seconds, std::uint64_t events,
-                       double events_per_sec, const ArrivalMeta& arrival) {
+                       double events_per_sec, const ArrivalMeta& arrival,
+                       const lp::LpCounters& lp_counters) {
   std::ofstream os(path);
   if (!os) {
     std::cerr << "bench: cannot write JSON to " << path << '\n';
@@ -132,8 +134,20 @@ inline void write_json(const Table& table, const std::string& path,
   os << "{\n  \"bench\": \"" << json_escape(table.title()) << "\",\n"
      << "  \"wall_seconds\": " << wall_seconds << ",\n"
      << "  \"events\": " << events << ",\n"
-     << "  \"events_per_sec\": " << events_per_sec << ",\n"
-     << "  \"arrival\": {\"kind\": \"" << json_escape(arrival.kind)
+     << "  \"events_per_sec\": " << events_per_sec << ",\n";
+  // LP effort keys appear only when the bench solved LPs, so the JSON shape
+  // of every pre-LP bench (and its history) is untouched. Counts are
+  // deterministic; the rate is the perf trajectory (warn-only in compare).
+  if (lp_counters.solves > 0) {
+    const double lp_rate =
+        wall_seconds > 0.0
+            ? static_cast<double>(lp_counters.solves) / wall_seconds
+            : 0.0;
+    os << "  \"lp_solves\": " << lp_counters.solves << ",\n"
+       << "  \"lp_iterations\": " << lp_counters.iterations << ",\n"
+       << "  \"lp_solves_per_sec\": " << lp_rate << ",\n";
+  }
+  os << "  \"arrival\": {\"kind\": \"" << json_escape(arrival.kind)
      << "\", \"burstiness\": " << arrival.burstiness << "},\n"
      << "  \"passed\": " << (table.all_checks_passed() ? "true" : "false")
      << ",\n  \"columns\": [";
@@ -180,8 +194,16 @@ inline int finish(const Table& table, const ArrivalMeta& arrival = {}) {
   if (events > 0)
     std::cout << "[des] " << events << " events in " << wall << " s ("
               << events_per_sec << " events/sec)\n";
+  const lp::LpCounters lp_counters = lp::process_lp_counters();
+  if (lp_counters.solves > 0)
+    std::cout << "[lp] " << lp_counters.solves << " solves, "
+              << lp_counters.iterations << " simplex iterations ("
+              << (wall > 0.0 ? static_cast<double>(lp_counters.solves) / wall
+                             : 0.0)
+              << " solves/sec)\n";
   if (const char* path = std::getenv("STOSCHED_BENCH_JSON"))
-    detail::write_json(table, path, wall, events, events_per_sec, arrival);
+    detail::write_json(table, path, wall, events, events_per_sec, arrival,
+                       lp_counters);
   return table.all_checks_passed() ? 0 : 1;
 }
 

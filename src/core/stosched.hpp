@@ -36,6 +36,7 @@
 #include "des/simulator.hpp"
 
 #include "lp/adaptive_greedy.hpp"
+#include "lp/revised_simplex.hpp"
 #include "lp/simplex.hpp"
 
 #include "mdp/mdp.hpp"

@@ -1,6 +1,7 @@
 #include "lp/simplex.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 
@@ -9,9 +10,6 @@
 namespace stosched::lp {
 
 namespace {
-
-constexpr double kPivotTol = 1e-9;
-constexpr double kFeasTol = 1e-7;
 
 /// Internal dense tableau. Rows 0..m-1 are constraints, row m is the
 /// reduced-cost row (entries c_j - z_j for the current maximization), and
@@ -30,7 +28,7 @@ struct Tableau {
 
   void pivot(std::size_t pr, std::size_t pc) {
     const double pivot_val = at(pr, pc);
-    STOSCHED_ASSERT(std::abs(pivot_val) > kPivotTol, "pivot too small");
+    STOSCHED_ASSERT(std::abs(pivot_val) > tol::kPivot, "pivot too small");
     const double inv = 1.0 / pivot_val;
     for (std::size_t c = 0; c <= n_total; ++c) at(pr, c) *= inv;
     at(pr, pc) = 1.0;
@@ -57,12 +55,12 @@ Solution::Status run_simplex(Tableau& t, const std::vector<char>& eligible,
     // Pricing: Dantzig (most positive reduced cost) or Bland (smallest index)
     // once a degenerate streak suggests cycling risk.
     std::size_t enter = t.n_total;
-    double best = kPivotTol;
+    double best = tol::kPivot;
     for (std::size_t c = 0; c < t.n_total; ++c) {
       if (!eligible[c]) continue;
       const double rc = t.at(t.m, c);
       if (bland) {
-        if (rc > kPivotTol) {
+        if (rc > tol::kPivot) {
           enter = c;
           break;
         }
@@ -79,10 +77,10 @@ Solution::Status run_simplex(Tableau& t, const std::vector<char>& eligible,
     double best_ratio = std::numeric_limits<double>::infinity();
     for (std::size_t r = 0; r < t.m; ++r) {
       const double col = t.at(r, enter);
-      if (col > kPivotTol) {
+      if (col > tol::kPivot) {
         const double ratio = t.rhs(r) / col;
-        if (ratio < best_ratio - 1e-12 ||
-            (ratio < best_ratio + 1e-12 && leave < t.m &&
+        if (ratio < best_ratio - tol::kRatioTie ||
+            (ratio < best_ratio + tol::kRatioTie && leave < t.m &&
              t.basis[r] < t.basis[leave])) {
           best_ratio = ratio;
           leave = r;
@@ -91,7 +89,8 @@ Solution::Status run_simplex(Tableau& t, const std::vector<char>& eligible,
     }
     if (leave == t.m) return Solution::Status::kUnbounded;
 
-    degenerate_run = best_ratio < 1e-12 ? degenerate_run + 1 : 0;
+    degenerate_run =
+        best_ratio < tol::kDegenerateStep ? degenerate_run + 1 : 0;
     if (degenerate_run > 2 * t.m + 20) bland = true;
 
     t.pivot(leave, enter);
@@ -100,7 +99,24 @@ Solution::Status run_simplex(Tableau& t, const std::vector<char>& eligible,
   return Solution::Status::kIterLimit;
 }
 
+// Process-wide LP effort, mirroring the DES event counters: plain atomics
+// with relaxed ordering — the totals are commutative sums, so they are
+// schedule-independent under OpenMP (the --exact determinism gate relies on
+// this).
+std::atomic<std::uint64_t> g_lp_solves{0};
+std::atomic<std::uint64_t> g_lp_iterations{0};
+
 }  // namespace
+
+LpCounters process_lp_counters() noexcept {
+  return {g_lp_solves.load(std::memory_order_relaxed),
+          g_lp_iterations.load(std::memory_order_relaxed)};
+}
+
+void add_process_lp_solve(std::uint64_t iterations) noexcept {
+  g_lp_solves.fetch_add(1, std::memory_order_relaxed);
+  g_lp_iterations.fetch_add(iterations, std::memory_order_relaxed);
+}
 
 Problem Problem::maximize(std::vector<double> costs) {
   Problem p;
@@ -116,11 +132,31 @@ Problem Problem::minimize(std::vector<double> costs) {
   return p;
 }
 
-Problem& Problem::subject_to(std::vector<double> coeffs, Sense sense,
+Problem& Problem::subject_to(const std::vector<double>& coeffs, Sense sense,
                              double rhs) {
   STOSCHED_REQUIRE(coeffs.size() == costs.size(),
                    "constraint width must match variable count");
-  constraints.push_back(Constraint{std::move(coeffs), sense, rhs});
+  Constraint c;
+  c.sense = sense;
+  c.rhs = rhs;
+  for (std::size_t j = 0; j < coeffs.size(); ++j) {
+    if (coeffs[j] == 0.0) continue;
+    c.idx.push_back(j);
+    c.val.push_back(coeffs[j]);
+  }
+  constraints.push_back(std::move(c));
+  return *this;
+}
+
+Problem& Problem::subject_to_sparse(std::vector<std::size_t> idx,
+                                    std::vector<double> val, Sense sense,
+                                    double rhs) {
+  STOSCHED_REQUIRE(idx.size() == val.size(),
+                   "sparse constraint: index/value length mismatch");
+  for (const std::size_t j : idx)
+    STOSCHED_REQUIRE(j < costs.size(),
+                     "sparse constraint: column index out of range");
+  constraints.push_back(Constraint{std::move(idx), std::move(val), sense, rhs});
   return *this;
 }
 
@@ -153,8 +189,6 @@ Solution solve(const Problem& p, std::size_t max_iterations) {
   std::vector<double> row_scale(m, 1.0);
   std::vector<Sense> sense(m);
   for (std::size_t i = 0; i < m; ++i) {
-    STOSCHED_REQUIRE(p.constraints[i].coeffs.size() == n,
-                     "constraint width must match variable count");
     sense[i] = p.constraints[i].sense;
     if (p.constraints[i].rhs < 0.0) {
       row_scale[i] = -1.0;
@@ -175,9 +209,13 @@ Solution solve(const Problem& p, std::size_t max_iterations) {
   std::vector<std::size_t> slack_col(m, SIZE_MAX), art_col(m, SIZE_MAX);
   std::size_t next_slack = n, next_art = n + n_slack;
   for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < n; ++j)
-      t.at(i, j) = row_scale[i] * p.constraints[i].coeffs[j];
-    t.rhs(i) = row_scale[i] * p.constraints[i].rhs;
+    const Constraint& row = p.constraints[i];
+    for (std::size_t k = 0; k < row.idx.size(); ++k) {
+      STOSCHED_REQUIRE(row.idx[k] < n,
+                       "constraint column index out of range");
+      t.at(i, row.idx[k]) += row_scale[i] * row.val[k];
+    }
+    t.rhs(i) = row_scale[i] * row.rhs;
     if (sense[i] != Sense::kEq) {
       slack_col[i] = next_slack++;
       t.at(i, slack_col[i]) = sense[i] == Sense::kLe ? 1.0 : -1.0;
@@ -210,11 +248,13 @@ Solution solve(const Problem& p, std::size_t max_iterations) {
         run_simplex(t, eligible, max_iterations, sol.iterations);
     if (status == Solution::Status::kIterLimit) {
       sol.status = status;
+      add_process_lp_solve(sol.iterations);
       return sol;
     }
     // Phase-1 optimum is -(infeasibility); rhs of the objective row holds it.
-    if (t.rhs(t.m) > kFeasTol) {
+    if (t.rhs(t.m) > tol::kFeas) {
       sol.status = Solution::Status::kInfeasible;
+      add_process_lp_solve(sol.iterations);
       return sol;
     }
     // Pivot any artificial still in the basis (at zero level) out, if a
@@ -222,7 +262,7 @@ Solution solve(const Problem& p, std::size_t max_iterations) {
     for (std::size_t i = 0; i < m; ++i) {
       if (t.basis[i] < n + n_slack) continue;
       for (std::size_t c = 0; c < n + n_slack; ++c) {
-        if (std::abs(t.at(i, c)) > kPivotTol) {
+        if (std::abs(t.at(i, c)) > tol::kPivot) {
           t.pivot(i, c);
           break;
         }
@@ -248,6 +288,7 @@ Solution solve(const Problem& p, std::size_t max_iterations) {
   for (std::size_t i = 0; i < m; ++i) t.at(t.m, t.basis[i]) = 0.0;
 
   sol.status = run_simplex(t, eligible, max_iterations, sol.iterations);
+  add_process_lp_solve(sol.iterations);
   if (sol.status != Solution::Status::kOptimal) return sol;
 
   // Extract primal values.

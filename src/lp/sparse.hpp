@@ -1,0 +1,100 @@
+// sparse.hpp — compressed sparse columns and the product-form eta file, the
+// storage layer under the revised simplex (revised_simplex.cpp).
+//
+// The basis inverse is kept as a product of eta matrices ("product form of
+// the inverse", the layout chuffed's LUFactor also uses): each pivot appends
+// one eta; refactorization rebuilds the file from the basis columns with
+// partial pivoting, sparsest column first. An eta is the identity except in
+// one column, so FTRAN (v ← B⁻¹v) applies the file left-to-right with one
+// axpy per eta and BTRAN (v ← B⁻ᵀv) applies transposed etas right-to-left
+// with one sparse dot each. This is a Gauss–Jordan product form rather than
+// a triangular LU — more fill per eta, but one code path serves both the
+// per-pivot update and the rebuild, and the refactorization interval keeps
+// the file short.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace stosched::lp {
+
+/// Column-major sparse matrix (CSC): column j holds entries
+/// [start[j], start[j+1]) of (row, value).
+struct SparseColumns {
+  std::size_t rows = 0;
+  std::vector<std::size_t> start;  ///< cols+1 offsets into row/value
+  std::vector<std::uint32_t> row;
+  std::vector<double> value;
+
+  [[nodiscard]] std::size_t cols() const {
+    return start.empty() ? 0 : start.size() - 1;
+  }
+  [[nodiscard]] std::size_t nnz() const { return value.size(); }
+};
+
+/// One eta matrix: the identity with column `pivot` replaced. Applying it to
+/// a vector scales entry `pivot` by `diag` and adds `off` multiples of the
+/// old pivot entry elsewhere.
+struct Eta {
+  std::uint32_t pivot = 0;
+  double diag = 1.0;
+  std::vector<std::pair<std::uint32_t, double>> off;
+};
+
+/// The eta file: B⁻¹ = E_K ··· E_1 for the current basis. append() is both
+/// the per-pivot update (w = current B⁻¹ times the entering column) and one
+/// step of refactorization (w = partial product times a basis column).
+class EtaFile {
+ public:
+  void clear() { etas_.clear(); }
+  [[nodiscard]] std::size_t size() const { return etas_.size(); }
+  [[nodiscard]] std::size_t nnz() const {
+    std::size_t total = 0;
+    for (const Eta& e : etas_) total += 1 + e.off.size();
+    return total;
+  }
+
+  /// Append the eta that maps the (already FTRANed) column w to e_pivot.
+  /// Entries below drop_tol are discarded; a column that is already e_pivot
+  /// appends nothing. The caller guarantees |w[pivot]| is pivot-worthy.
+  void append(const std::vector<double>& w, std::uint32_t pivot,
+              double drop_tol) {
+    Eta e;
+    e.pivot = pivot;
+    const double pv = w[pivot];
+    e.diag = 1.0 / pv;
+    for (std::uint32_t k = 0; k < w.size(); ++k) {
+      if (k == pivot) continue;
+      const double v = w[k];
+      if (v > drop_tol || v < -drop_tol) e.off.emplace_back(k, -v / pv);
+    }
+    if (e.off.empty() && e.diag == 1.0) return;  // identity eta
+    etas_.push_back(std::move(e));
+  }
+
+  /// v ← B⁻¹ v (dense work vector).
+  void ftran(std::vector<double>& v) const {
+    for (const Eta& e : etas_) {
+      const double t = v[e.pivot];
+      if (t == 0.0) continue;
+      v[e.pivot] = e.diag * t;
+      for (const auto& [k, a] : e.off) v[k] += a * t;
+    }
+  }
+
+  /// v ← B⁻ᵀ v (dense work vector).
+  void btran(std::vector<double>& v) const {
+    for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+      double s = it->diag * v[it->pivot];
+      for (const auto& [k, a] : it->off) s += a * v[k];
+      v[it->pivot] = s;
+    }
+  }
+
+ private:
+  std::vector<Eta> etas_;
+};
+
+}  // namespace stosched::lp

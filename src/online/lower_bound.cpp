@@ -89,14 +89,36 @@ std::vector<double> wspt_mean_busy_times(const OnlineInstance& inst,
   return busy;
 }
 
+/// True when the instance carries no work and no releases — the LP grid
+/// would be degenerate, and every bound is 0 anyway.
+bool trivial_instance(const OnlineInstance& inst, const Environment& env) {
+  for (std::size_t j = 0; j < inst.size(); ++j) {
+    if (inst[j].release > 0.0) return false;
+    for (std::size_t i = 0; i < env.machines(); ++i)
+      if (env.proc_time(i, inst[j].type, inst[j].size) > 0.0) return false;
+  }
+  return true;
+}
+
 /// The interval-indexed LP bound (0 if skipped or the solve failed).
 double interval_lp_bound(const OnlineInstance& inst, const Environment& env,
-                         const std::vector<double>& q,
                          const OfflineBoundOptions& opt) {
+  if (trivial_instance(inst, env)) return 0.0;
+  const lp::Problem prob = interval_indexed_lp(inst, env, opt);
+  const lp::Solution sol = lp::solve(prob, opt.lp_solver);
+  return sol.optimal() ? sol.objective : 0.0;
+}
+
+}  // namespace
+
+lp::Problem interval_indexed_lp(const OnlineInstance& inst,
+                                const Environment& env,
+                                const OfflineBoundOptions& opt) {
   const std::size_t n = inst.size();
   const std::size_t m = env.machines();
   STOSCHED_REQUIRE(opt.interval_ratio > 1.0,
                    "LP interval ratio must exceed 1");
+  const std::vector<double> q = best_proc_times(inst, env);
 
   // Geometric grid 0 = τ_0 < τ_1 < ... < τ_T covering every completion an
   // optimal schedule could have (each job on some machine after the last
@@ -111,82 +133,88 @@ double interval_lp_bound(const OnlineInstance& inst, const Environment& env,
     max_release = std::max(max_release, inst[j].release);
   }
   upper += max_release;
-  if (upper <= 0.0) return 0.0;
+  STOSCHED_REQUIRE(upper > 0.0,
+                   "interval-indexed LP needs work or releases");
   if (!std::isfinite(smallest)) smallest = upper;
   std::vector<double> tau{0.0, smallest};
   while (tau.back() < upper) tau.push_back(tau.back() * opt.interval_ratio);
   const std::size_t T = tau.size() - 1;  // intervals (τ_{t-1}, τ_t]
 
   // Variable layout: C_0..C_{n-1}, then x_{ijt} for every allowed triple
-  // (interval ends after the job's release).
-  std::vector<std::vector<std::size_t>> xbase(n);  // per job: first var id
-  std::vector<std::vector<std::size_t>> xtidx(n);  // per job: allowed t's
+  // (interval ends after the job's release). The allowed t's of a job form
+  // a suffix first_t[j]..T of the grid (τ is increasing), which makes the
+  // t → variable mapping O(1) below. Rows are built sparsely: at n = 512
+  // this LP has ~14k variables, and dense rows would cost hundreds of MB.
+  std::vector<std::size_t> xbase(n);    // per job: first x variable id
+  std::vector<std::size_t> first_t(n);  // per job: first allowed interval
   std::size_t vars = n;
   for (std::size_t j = 0; j < n; ++j) {
+    std::size_t first = T + 1;
     for (std::size_t t = 1; t <= T; ++t) {
       if (tau[t] <= inst[j].release) continue;
-      xtidx[j].push_back(t);
+      first = t;
+      break;
     }
-    xbase[j].assign(1, vars);
-    vars += m * xtidx[j].size();
+    first_t[j] = first;
+    xbase[j] = vars;
+    vars += m * (T + 1 - first);
   }
 
   std::vector<double> costs(vars, 0.0);
   for (std::size_t j = 0; j < n; ++j) costs[j] = inst[j].weight;
   lp::Problem prob = lp::Problem::minimize(std::move(costs));
 
-  const auto xvar = [&](std::size_t j, std::size_t i, std::size_t k) {
-    return xbase[j][0] + i * xtidx[j].size() + k;
+  const auto nt = [&](std::size_t j) { return T + 1 - first_t[j]; };
+  const auto xvar = [&](std::size_t j, std::size_t i, std::size_t t) {
+    return xbase[j] + i * nt(j) + (t - first_t[j]);
   };
 
   // Coverage: Σ_{i,t} x_{ijt} = 1.
   for (std::size_t j = 0; j < n; ++j) {
-    std::vector<double> row(vars, 0.0);
+    std::vector<std::size_t> idx;
+    idx.reserve(m * nt(j));
     for (std::size_t i = 0; i < m; ++i)
-      for (std::size_t k = 0; k < xtidx[j].size(); ++k)
-        row[xvar(j, i, k)] = 1.0;
-    prob.subject_to(std::move(row), lp::Sense::kEq, 1.0);
+      for (std::size_t t = first_t[j]; t <= T; ++t)
+        idx.push_back(xvar(j, i, t));
+    std::vector<double> val(idx.size(), 1.0);
+    prob.subject_to_sparse(std::move(idx), std::move(val), lp::Sense::kEq,
+                           1.0);
   }
 
   // Capacity: Σ_j p_ij x_{ijt} <= τ_t − τ_{t-1} per machine and interval.
   for (std::size_t i = 0; i < m; ++i) {
     for (std::size_t t = 1; t <= T; ++t) {
-      std::vector<double> row(vars, 0.0);
-      bool any = false;
+      std::vector<std::size_t> idx;
+      std::vector<double> val;
       for (std::size_t j = 0; j < n; ++j) {
-        const auto it =
-            std::find(xtidx[j].begin(), xtidx[j].end(), t);
-        if (it == xtidx[j].end()) continue;
-        const std::size_t k =
-            static_cast<std::size_t>(it - xtidx[j].begin());
-        row[xvar(j, i, k)] = env.proc_time(i, inst[j].type, inst[j].size);
-        any = true;
+        if (t < first_t[j]) continue;
+        idx.push_back(xvar(j, i, t));
+        val.push_back(env.proc_time(i, inst[j].type, inst[j].size));
       }
-      if (any)
-        prob.subject_to(std::move(row), lp::Sense::kLe, tau[t] - tau[t - 1]);
+      if (!idx.empty())
+        prob.subject_to_sparse(std::move(idx), std::move(val), lp::Sense::kLe,
+                               tau[t] - tau[t - 1]);
     }
   }
 
   // Completion-time bounds: C_j >= Σ x τ_{t-1} and C_j >= r_j + Σ x p_ij.
   for (std::size_t j = 0; j < n; ++j) {
-    std::vector<double> by_start(vars, 0.0), by_proc(vars, 0.0);
-    by_start[j] = 1.0;
-    by_proc[j] = 1.0;
+    std::vector<std::size_t> sidx{j}, pidx{j};
+    std::vector<double> sval{1.0}, pval{1.0};
     for (std::size_t i = 0; i < m; ++i)
-      for (std::size_t k = 0; k < xtidx[j].size(); ++k) {
-        by_start[xvar(j, i, k)] = -tau[xtidx[j][k] - 1];
-        by_proc[xvar(j, i, k)] =
-            -env.proc_time(i, inst[j].type, inst[j].size);
+      for (std::size_t t = first_t[j]; t <= T; ++t) {
+        sidx.push_back(xvar(j, i, t));
+        sval.push_back(-tau[t - 1]);
+        pidx.push_back(xvar(j, i, t));
+        pval.push_back(-env.proc_time(i, inst[j].type, inst[j].size));
       }
-    prob.subject_to(std::move(by_start), lp::Sense::kGe, 0.0);
-    prob.subject_to(std::move(by_proc), lp::Sense::kGe, inst[j].release);
+    prob.subject_to_sparse(std::move(sidx), std::move(sval), lp::Sense::kGe,
+                           0.0);
+    prob.subject_to_sparse(std::move(pidx), std::move(pval), lp::Sense::kGe,
+                           inst[j].release);
   }
-
-  const lp::Solution sol = lp::solve(prob);
-  return sol.optimal() ? sol.objective : 0.0;
+  return prob;
 }
-
-}  // namespace
 
 OfflineBound offline_lower_bound(const OnlineInstance& inst,
                                  const Environment& env,
@@ -207,7 +235,7 @@ OfflineBound offline_lower_bound(const OnlineInstance& inst,
     bound.busy_bound += inst[j].weight * (busy[j] + q[j] / (2.0 * m));
 
   if (opt.use_lp && inst.size() <= opt.lp_job_cap)
-    bound.lp_bound = interval_lp_bound(inst, env, q, opt);
+    bound.lp_bound = interval_lp_bound(inst, env, opt);
 
   bound.value =
       std::max({bound.release_bound, bound.busy_bound, bound.lp_bound});

@@ -20,22 +20,31 @@
 //   * interval-indexed LP — the Hall–Schulz–Shmoys–Wein relaxation on
 //     geometric intervals: fractions x_ijt of job j on machine i in
 //     interval t, machine capacity per interval, release-respecting
-//     placement, and C_j >= max(Σ x τ_{t-1}, r_j + Σ x p_ij). Solved with
-//     lp::solve; polynomially sized but dense, so it is gated on a job cap
-//     and off by default — the combinatorial bounds carry the sweeps, the
-//     LP tightens small instances and audits the cheap bounds in tests.
+//     placement, and C_j >= max(Σ x τ_{t-1}, r_j + Σ x p_ij). The instance
+//     is polynomially sized and very sparse (a handful of nonzeros per
+//     row), so it is built with sparse rows and solved by the revised
+//     simplex (lp::Solver::kRevised) by default — hundreds of jobs are
+//     routine, and the job cap is only a guard against accidentally
+//     gigantic instances. The combinatorial bounds still carry the big
+//     sweeps (the LP costs a solve per replication); the LP tightens the
+//     audited cells and checks the cheap bounds in tests.
 #pragma once
 
 #include <cstddef>
 
+#include "lp/simplex.hpp"
 #include "online/model.hpp"
 
 namespace stosched::online {
 
 struct OfflineBoundOptions {
-  bool use_lp = false;         ///< also solve the interval-indexed LP
-  std::size_t lp_job_cap = 96; ///< skip the LP above this many jobs
-  double interval_ratio = 2.0; ///< geometric growth of the LP time grid
+  bool use_lp = false;          ///< also solve the interval-indexed LP
+  std::size_t lp_job_cap = 512; ///< skip the LP above this many jobs
+  double interval_ratio = 2.0;  ///< geometric growth of the LP time grid
+  /// Engine for the LP solve. kRevised is the default production path;
+  /// kDense remains selectable so tests can differential the two on the
+  /// real bound (tests/test_online.cpp does).
+  lp::Solver lp_solver = lp::Solver::kRevised;
 };
 
 /// The combined bound and its ingredients (lp_bound is 0 when skipped).
@@ -52,5 +61,14 @@ OfflineBound offline_lower_bound(const OnlineInstance& inst,
                                  const Environment& env,
                                  const std::vector<JobType>& types,
                                  const OfflineBoundOptions& opt = {});
+
+/// The HSSW interval-indexed LP itself (minimize Σ w_j C_j, variables
+/// C_0..C_{n-1} then the placement fractions x_ijt), exposed so benches and
+/// tests can generate real bound-shaped sparse instances without duplicating
+/// the construction. Requires a non-degenerate instance: at least one job
+/// with positive best-machine processing time or positive release date.
+lp::Problem interval_indexed_lp(const OnlineInstance& inst,
+                                const Environment& env,
+                                const OfflineBoundOptions& opt = {});
 
 }  // namespace stosched::online

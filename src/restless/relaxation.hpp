@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "lp/simplex.hpp"
 #include "restless/restless_project.hpp"
 
 namespace stosched::restless {
@@ -41,5 +42,11 @@ RelaxationResult solve_relaxation(const RestlessInstance& inst);
 RelaxationResult solve_relaxation_symmetric(const RestlessProject& proto,
                                             std::size_t copies,
                                             std::size_t activate);
+
+/// The occupation-measure LP itself (maximize average reward over x_j(s,a)
+/// with flow balance, per-project normalization and the coupling row),
+/// exposed so benches and tests can generate Whittle-relaxation-shaped
+/// sparse instances without duplicating the construction.
+lp::Problem relaxation_lp(const RestlessInstance& inst);
 
 }  // namespace stosched::restless

@@ -155,7 +155,7 @@ TEST(OnlineLowerBound, NeverExceedsBruteForceOptimum) {
   opt.use_lp = true;
   for (int trial = 0; trial < 30; ++trial) {
     OnlineInstance inst;
-    const std::size_t n = 3 + rng.below(4);  // 3..6 jobs
+    const std::size_t n = 3 + rng.below(6);  // 3..8 jobs
     double t = 0.0;
     for (std::size_t j = 0; j < n; ++j) {
       OnlineJob job;
@@ -177,6 +177,73 @@ TEST(OnlineLowerBound, NeverExceedsBruteForceOptimum) {
     EXPECT_DOUBLE_EQ(
         lb.value, std::max({lb.release_bound, lb.busy_bound, lb.lp_bound}));
   }
+}
+
+TEST(OnlineLowerBound, LpSolversAgreeOnTheRealBound) {
+  // The dense tableau stays in the tree as the auditable reference; both
+  // engines must report the same interval-indexed bound on real instances.
+  const auto env = online::unrelated_machines({{2.0, 0.6}, {0.7, 1.8}});
+  const std::vector<JobType> types{{0.5, 1.0, exponential_dist(1.0)},
+                                   {0.5, 1.0, exponential_dist(1.0)}};
+  Rng rng(77);
+  for (int trial = 0; trial < 8; ++trial) {
+    OnlineInstance inst;
+    const std::size_t n = 5 + rng.below(16);  // 5..20 jobs
+    double t = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      OnlineJob job;
+      t += rng.uniform(0.0, 0.8);
+      job.release = t;
+      job.type = rng.below(2);
+      job.weight = rng.uniform(0.5, 3.0);
+      job.size = rng.uniform(0.2, 2.5);
+      job.sample = job.size;
+      inst.push_back(job);
+    }
+    OfflineBoundOptions opt;
+    opt.use_lp = true;
+    opt.lp_solver = lp::Solver::kRevised;
+    const OfflineBound revised =
+        online::offline_lower_bound(inst, env, types, opt);
+    opt.lp_solver = lp::Solver::kDense;
+    const OfflineBound dense =
+        online::offline_lower_bound(inst, env, types, opt);
+    ASSERT_GT(revised.lp_bound, 0.0);
+    EXPECT_NEAR(revised.lp_bound, dense.lp_bound,
+                1e-6 * (1.0 + dense.lp_bound))
+        << "trial " << trial;
+  }
+}
+
+TEST(OnlineLowerBound, LpBoundScalesPastTheOldJobCap) {
+  // 120 jobs was unreachable under the dense-era cap of 96; the revised
+  // engine makes it routine, and the default cap is now only a guard.
+  const auto env = online::unrelated_machines({{2.0, 0.6}, {0.7, 1.8}});
+  const std::vector<JobType> types{{0.5, 1.0, exponential_dist(1.0)},
+                                   {0.5, 1.0, exponential_dist(1.0)}};
+  Rng rng(99);
+  OnlineInstance inst;
+  double t = 0.0;
+  for (std::size_t j = 0; j < 120; ++j) {
+    OnlineJob job;
+    t += rng.uniform(0.0, 0.3);
+    job.release = t;
+    job.type = rng.below(2);
+    job.weight = rng.uniform(0.5, 3.0);
+    job.size = rng.uniform(0.2, 2.5);
+    job.sample = job.size;
+    inst.push_back(job);
+  }
+  OfflineBoundOptions opt;
+  opt.use_lp = true;
+  ASSERT_LE(inst.size(), opt.lp_job_cap) << "default cap must admit 120 jobs";
+  const OfflineBound lb = online::offline_lower_bound(inst, env, types, opt);
+  // The LP relaxation contains the release-bound constraints, so the solved
+  // bound can only tighten the combinatorial ones.
+  EXPECT_GT(lb.lp_bound, 0.0);
+  EXPECT_GE(lb.lp_bound, lb.release_bound - 1e-6 * lb.release_bound);
+  EXPECT_DOUBLE_EQ(lb.value,
+                   std::max({lb.release_bound, lb.busy_bound, lb.lp_bound}));
 }
 
 TEST(OnlineLowerBound, ExactForSingleMachineWsptWithoutReleases) {

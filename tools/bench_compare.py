@@ -105,6 +105,14 @@ def compare_exact(old, new):
     if "events" in old and "events" in new and old["events"] != new["events"]:
         problems.append(f"'events' differs: {old['events']!r} "
                         f"!= {new['events']!r}")
+    # Same deal for LP effort: solve and simplex-iteration counts are pure
+    # functions of the instances solved (relaxed-atomic sums commute, so
+    # they are thread-schedule independent), hence part of the gate when
+    # both files carry them. lp_solves_per_sec is wall-clock-like and stays
+    # out of --exact.
+    for key in ("lp_solves", "lp_iterations"):
+        if key in old and key in new and old[key] != new[key]:
+            problems.append(f"'{key}' differs: {old[key]!r} != {new[key]!r}")
     if old["verdicts"] != new["verdicts"]:
         problems.append(f"verdicts differ: {old['verdicts']!r} "
                         f"!= {new['verdicts']!r}")
@@ -204,6 +212,16 @@ def main():
         marker = "  THROUGHPUT DROP (warn-only)" if drift < -args.time_tol \
             else ""
         print(f"  events/sec: {r_old:,.0f} -> {r_new:,.0f} "
+              f"({drift:+.1%}){marker}")
+
+    # LP solve throughput: same warn-only treatment as events/sec.
+    l_old, l_new = old.get("lp_solves_per_sec"), new.get("lp_solves_per_sec")
+    if isinstance(l_old, (int, float)) and isinstance(l_new, (int, float)) \
+            and l_old > 0 and l_new > 0:
+        drift = (l_new - l_old) / l_old
+        marker = "  THROUGHPUT DROP (warn-only)" if drift < -args.time_tol \
+            else ""
+        print(f"  lp solves/sec: {l_old:,.0f} -> {l_new:,.0f} "
               f"({drift:+.1%}){marker}")
 
     drifted = list(compare_cells(old, new, args.rel_tol))

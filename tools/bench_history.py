@@ -77,6 +77,9 @@ def summarize(doc, commit):
         "wall_seconds": doc.get("wall_seconds"),
         "events": doc.get("events"),
         "events_per_sec": doc.get("events_per_sec"),
+        "lp_solves": doc.get("lp_solves"),
+        "lp_iterations": doc.get("lp_iterations"),
+        "lp_solves_per_sec": doc.get("lp_solves_per_sec"),
         "passed": doc.get("passed"),
         "arrival": doc.get("arrival"),
         "verdicts": {v["what"]: v["pass"] for v in doc["verdicts"]},
@@ -123,10 +126,15 @@ def show_summary(history_path, tail):
             rate_s = (f"{rate:,.0f} ev/s"
                       if isinstance(rate, (int, float)) and rate > 0
                       else "-")  # pre-counter history lines have no rate
+            lp = ln.get("lp_solves_per_sec")
+            lp_s = (f"{lp:,.0f} lp/s"
+                    if isinstance(lp, (int, float)) and lp > 0
+                    else "-")  # benches that solve no LPs have no rate
             verdicts = ln.get("verdicts", {})
             failed = [w for w, ok in verdicts.items() if not ok]
             status = "PASS" if not failed else f"FAIL({len(failed)})"
-            print(f"  {commit}  wall {wall_s:>9}  {rate_s:>16}  {status}")
+            print(f"  {commit}  wall {wall_s:>9}  {rate_s:>16}  {lp_s:>12}  "
+                  f"{status}")
 
 
 def main():

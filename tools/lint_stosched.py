@@ -26,10 +26,11 @@ Enforces the invariants the codebase relies on but no compiler checks:
                         accumulate in double; single-precision accumulators
                         lose ~7 digits over 10^8-event runs.
   hot-loop-clock        No direct clock reads (<chrono>, clock_gettime,
-                        gettimeofday, *_clock) in src/des or src/queueing:
-                        the DES event loop is the multiplier on every
-                        experiment, so timing enters it only through the
-                        compiled-out STOSCHED_TIME_* macros (util/timestat).
+                        gettimeofday, *_clock) in src/des, src/queueing or
+                        src/lp: the DES event loop and the simplex pivot
+                        loop are the multipliers on every experiment, so
+                        timing enters them only through the compiled-out
+                        STOSCHED_TIME_* macros (util/timestat).
   cmake-coverage        Every src/**/*.cpp is listed in the CMake library
                         sources and every tests/test_*.cpp in STOSCHED_TESTS
                         — an unlisted translation unit silently never builds.
@@ -357,19 +358,21 @@ HOT_LOOP_CLOCK_PATTERNS = [
 
 
 def rule_hot_loop_clock(root):
-    """No direct clock reads in the DES hot path (src/des, src/queueing).
-    Timing enters only through the util/timestat macros, which compile out
-    unless STOSCHED_TIME_STATS is on — a stray steady_clock::now() in an
-    event loop costs ~20ns per call in every build."""
+    """No direct clock reads in the hot paths (src/des, src/queueing,
+    src/lp). Timing enters only through the util/timestat macros, which
+    compile out unless STOSCHED_TIME_STATS is on — a stray
+    steady_clock::now() in an event loop or a simplex pivot loop costs
+    ~20ns per call in every build. Benches time LP solves from bench/,
+    outside the scanned tree."""
     out = []
-    for path in cxx_files(root, "src/des", "src/queueing"):
+    for path in cxx_files(root, "src/des", "src/queueing", "src/lp"):
         code = strip_code(read(path))
         for pat, what in HOT_LOOP_CLOCK_PATTERNS:
             for m in pat.finditer(code):
                 out.append(Violation(
                     rel(root, path), line_of(code, m.start()),
                     "hot-loop-clock",
-                    f"{what} in the DES hot path — time only through the "
+                    f"{what} in a hot path — time only through the "
                     f"STOSCHED_TIME_* macros (compiled out by default)"))
     return out
 

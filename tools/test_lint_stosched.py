@@ -154,13 +154,21 @@ class RuleFiresOnFixture(unittest.TestCase):
         self.assertIn("<chrono>", msgs)
         self.assertIn("clock_gettime", msgs)
 
+    def test_hot_loop_clock_fires_in_lp(self):
+        # The simplex pivot loop is a hot path too: a clock read per pivot
+        # would tax every interval-indexed-bound solve.
+        self.skel.add("hot_loop_clock.cpp", "src/lp/hot_loop_clock.cpp")
+        found = self.run_rule("hot-loop-clock")
+        self.assertGreaterEqual(len(found), 4,
+                                "src/lp is inside the scanned hot paths")
+
     def test_hot_loop_clock_allows_clocks_outside_hot_path(self):
         # util/timestat.cpp and bench_common.hpp legitimately read clocks;
-        # the rule only polices src/des and src/queueing.
+        # the rule only polices src/des, src/queueing and src/lp.
         self.skel.add("hot_loop_clock.cpp", "src/util/timed.cpp")
         self.skel.add("hot_loop_clock.cpp", "bench/bench_timed.cpp")
         self.assertEqual(self.run_rule("hot-loop-clock"), [],
-                         "clock reads outside the DES hot path are fine")
+                         "clock reads outside the hot paths are fine")
 
     def test_cmake_coverage_fires(self):
         self.skel.add("unlisted_source.cpp", "src/core/unlisted_source.cpp")

@@ -34,6 +34,7 @@ int main() {
 
   EngineOptions opt;
   opt.seed = 110;
+  bench::note_seed(opt.seed);
   opt.min_replications = 32;
   opt.batch = 32;
   opt.max_replications = bench::smoke_scale<std::size_t>(512, 32);

@@ -69,6 +69,7 @@ int main() {
 
   EngineOptions opt;
   opt.seed = 111;
+  bench::note_seed(opt.seed);
   opt.min_replications = 32;
   opt.batch = 32;
   opt.max_replications = bench::smoke_scale<std::size_t>(160, 24);

@@ -73,6 +73,7 @@ int main() {
     const Order order = wsept_order(s.jobs);
     experiment::EngineOptions opt;
     opt.seed = 9;
+    bench::note_seed(opt.seed);
     opt.min_replications = 512;
     opt.batch = 1024;
     opt.max_replications = bench::smoke_scale<std::size_t>(65536, 1024);

@@ -44,6 +44,7 @@ int main() {
   // order, so the pairing is exact and the gap ranking is nearly noise-free.
   experiment::EngineOptions eopt;
   eopt.seed = 20250917;
+  bench::note_seed(eopt.seed);
   eopt.min_replications = 8;
   eopt.batch = 8;
   eopt.max_replications = bench::smoke_scale<std::size_t>(64, 8);

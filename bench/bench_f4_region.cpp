@@ -51,6 +51,7 @@ int main() {
   // per-class mean-wait CIs are tight (metrics 3 and 6 of the mg1 layout).
   experiment::EngineOptions eopt;
   eopt.seed = 20250916;
+  bench::note_seed(eopt.seed);
   eopt.min_replications = 12;
   eopt.batch = 12;
   eopt.max_replications = bench::smoke_scale<std::size_t>(128, 16);

@@ -36,6 +36,7 @@ StabilityOutcome run_network_rows(Table& table, const char* tag,
                                   const std::vector<NetworkPolicy>& arms) {
   EngineOptions opt;
   opt.seed = 100;
+  bench::note_seed(opt.seed);
   opt.min_replications = 16;
   opt.batch = 16;
   opt.max_replications = stosched::bench::smoke_scale<std::size_t>(64, 16);

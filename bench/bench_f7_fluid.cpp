@@ -34,6 +34,7 @@ int main() {
 
   EngineOptions opt;
   opt.seed = 7;
+  bench::note_seed(opt.seed);
   opt.min_replications = bench::smoke_scale<std::size_t>(48, 16);
   opt.batch = 16;
   opt.max_replications = bench::smoke_scale<std::size_t>(128, 16);

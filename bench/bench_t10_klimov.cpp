@@ -43,6 +43,7 @@ int main() {
 
   EngineOptions opt;
   opt.seed = 20250914;
+  bench::note_seed(opt.seed);
   opt.min_replications = 16;
   opt.batch = 16;
   opt.max_replications = bench::smoke_scale<std::size_t>(256, 24);

@@ -37,6 +37,7 @@ int main() {
 
   EngineOptions opt;
   opt.seed = 20250915;
+  bench::note_seed(opt.seed);
   opt.min_replications = 16;
   opt.batch = 16;
   opt.max_replications = bench::smoke_scale<std::size_t>(192, 24);

@@ -14,6 +14,9 @@
 //     offline lower bounds and empirical competitive ratios;
 //   * unifying machinery: conservation laws, achievable regions, adaptive
 //     greedy indices, priority-rule catalog;
+//   * observability: metrics registry (counters/gauges/deterministic
+//     latency histograms), compiled-out Chrome-trace spans, run
+//     provenance, structured progress sink, phase timers;
 //   * the experiment engine: replication driver, CRN paired comparisons,
 //     sequential-precision stopping, scenario registry and adapters;
 //   * substrates: distributions, RNG, statistics, discrete-event kernel,
@@ -26,6 +29,8 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/timestat.hpp"
+
+#include "obs/obs.hpp"
 
 #include "dist/arrival.hpp"
 #include "dist/distribution.hpp"

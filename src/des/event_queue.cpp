@@ -1,24 +1,28 @@
 #include "des/event_queue.hpp"
 
-#include <atomic>
+#include "obs/metrics.hpp"
 
 namespace stosched {
 
 namespace {
 
-/// Process-wide processed-event tally. Queues flush their per-instance pop
+/// Process-wide processed-event tally, now an obs registry counter (the
+/// bench JSON "events" column). Queues flush their per-instance pop
 /// counters here (event_queue.hpp), so the only atomic traffic is one add
 /// per clear/destroy — never per event.
-std::atomic<std::uint64_t> g_process_events{0};
+obs::Counter& events_counter() {
+  static obs::Counter& c = obs::counter("events");
+  return c;
+}
 
 }  // namespace
 
 std::uint64_t process_event_count() noexcept {
-  return g_process_events.load(std::memory_order_relaxed);
+  return events_counter().value();
 }
 
 void add_process_events(std::uint64_t n) noexcept {
-  g_process_events.fetch_add(n, std::memory_order_relaxed);
+  events_counter().add(n);
 }
 
 // Explicit instantiations of the arities exercised by the library and the

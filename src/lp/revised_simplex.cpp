@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/contract.hpp"
 
@@ -466,6 +467,7 @@ struct Engine {
 
 Solution solve_revised_impl(const Problem& p, Basis* warm,
                             std::size_t max_iterations) {
+  STOSCHED_TRACE_SPAN("lp", "lp_solve_revised");
   Engine e;
   e.build(p);
   if (warm == nullptr || !warm->matches(e.n, e.m) || !e.load_basis(*warm))

@@ -1,0 +1,14 @@
+// obs.hpp — umbrella for the observability subsystem.
+//
+// One include gives a consumer the whole telemetry surface: the metrics
+// registry (counters / gauges / deterministic latency histograms), the
+// compiled-out Chrome-trace macros, run provenance, the structured
+// progress sink — and the phase-timing layer (util/timestat.hpp), which
+// predates src/obs/ but is conceptually part of it and is re-exported here.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/provenance.hpp"
+#include "obs/trace.hpp"
+#include "util/timestat.hpp"

@@ -1,0 +1,63 @@
+#include "obs/progress.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+
+namespace stosched::obs {
+namespace {
+
+// Resolved once: nullptr = disabled, otherwise the sink (stderr or an
+// append-mode file, leaked so late emitters never race a close).
+std::FILE* resolve_sink() {
+  const char* env = std::getenv("STOSCHED_PROGRESS");
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "0") == 0)
+    return nullptr;
+  if (std::strcmp(env, "-") == 0 || std::strcmp(env, "stderr") == 0)
+    return stderr;
+  return std::fopen(env, "a");  // nullptr on failure = disabled
+}
+
+std::FILE* sink() {
+  static std::FILE* s = resolve_sink();
+  return s;
+}
+
+std::mutex& sink_mutex() {
+  static std::mutex* m = new std::mutex;  // leaked, emitters may be late
+  return *m;
+}
+
+std::uint64_t next_seq() {
+  static std::uint64_t seq = 0;  // guarded by sink_mutex
+  return seq++;
+}
+
+}  // namespace
+
+bool progress_enabled() noexcept { return sink() != nullptr; }
+
+std::string format_progress_line(const char* event, std::uint64_t seq,
+                                 std::initializer_list<ProgressField> fields) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\"event\":\"" << event << "\",\"seq\":" << seq;
+  for (const ProgressField& f : fields) os << ",\"" << f.key << "\":" << f.value;
+  os << "}";
+  return os.str();
+}
+
+void progress_line(const char* event,
+                   std::initializer_list<ProgressField> fields) {
+  std::FILE* out = sink();
+  if (out == nullptr) return;
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  const std::string line = format_progress_line(event, next_seq(), fields);
+  std::fputs(line.c_str(), out);
+  std::fputc('\n', out);
+  std::fflush(out);
+}
+
+}  // namespace stosched::obs

@@ -1,0 +1,53 @@
+// progress.hpp — opt-in structured progress lines for long replication
+// sweeps.
+//
+// A sequential-precision run (`EngineOptions::sequential`) can grind
+// through thousands of replications before its CI half-widths close; until
+// now the only signal was the final table. This sink emits one
+// machine-readable JSON object per line while the run is still going —
+// live half-widths from the stopping rule, batch completions from the
+// replication driver — so a wrapper script (or a human with tail -f) can
+// watch convergence without touching the results.
+//
+// Strictly opt-in via the STOSCHED_PROGRESS environment variable:
+//
+//   STOSCHED_PROGRESS=-            # lines to stderr
+//   STOSCHED_PROGRESS=run.ndjson   # lines appended to a file
+//
+// unset (or "0") means progress_enabled() is a cached `false` and every
+// emission site costs one branch. The line protocol is deliberately tiny —
+// a flat JSON object with an "event" tag, a monotone "seq" number (total
+// order even when OpenMP workers interleave), and numeric fields:
+//
+//   {"event":"ci","seq":42,"metric":0,"mean":1.93,"halfwidth":0.011,...}
+//
+// Consumers should ignore unknown keys and unknown event tags; emitters
+// add fields freely.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+namespace stosched::obs {
+
+/// One key/value pair of a progress line. Keys are string literals;
+/// values are doubles (counts up to 2^53 stay exact).
+struct ProgressField {
+  const char* key;
+  double value;
+};
+
+/// True when STOSCHED_PROGRESS selects a sink (cached after first call).
+bool progress_enabled() noexcept;
+
+/// Emit one line to the configured sink; no-op when disabled. Thread-safe
+/// (single mutex-guarded write per line, flushed immediately).
+void progress_line(const char* event, std::initializer_list<ProgressField> fields);
+
+/// The formatting half of progress_line, exposed so tests can check the
+/// protocol without an environment variable or a sink.
+std::string format_progress_line(const char* event, std::uint64_t seq,
+                                 std::initializer_list<ProgressField> fields);
+
+}  // namespace stosched::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/contract.hpp"
 
@@ -57,6 +59,7 @@ OnlineResult simulate_online(const OnlineInstance& inst,
                              const OnlinePolicy& policy, Rng& policy_rng) {
   validate_types(types);
   env.validate(types.size());
+  STOSCHED_TRACE_SPAN("sim", "simulate_online");
   for (std::size_t j = 1; j < inst.size(); ++j)
     STOSCHED_REQUIRE(inst[j - 1].release <= inst[j].release,
                      "online instance must be sorted by release");
@@ -112,12 +115,15 @@ OnlineResult simulate_online(const OnlineInstance& inst,
 
   OnlineResult res;
   res.jobs = inst.size();
+  obs::LocalHistogram flow_hist;  // per-job flow times -> sojourn tails
   for (std::size_t j = 0; j < inst.size(); ++j) {
     res.weighted_completion += inst[j].weight * completion[j];
     res.weighted_flowtime +=
         inst[j].weight * (completion[j] - inst[j].release);
     res.makespan = std::max(res.makespan, completion[j]);
+    flow_hist.record(completion[j] - inst[j].release);
   }
+  obs::sojourn_time_histogram().merge(flow_hist);
   return res;
 }
 

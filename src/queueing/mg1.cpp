@@ -7,6 +7,8 @@
 
 #include "des/event_queue.hpp"
 #include "des/fifo_arena.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/contract.hpp"
 #include "util/stats.hpp"
@@ -89,6 +91,9 @@ struct Sim {
   std::vector<TimeAverage> count_ta;
   TimeAverage busy_ta;
   std::vector<RunningStat> wait_stat, sojourn_stat;
+  // Post-warmup tail samples, flushed into the obs registry once per run()
+  // (plain increments here, one atomic merge at the end — never per event).
+  obs::LocalHistogram wait_hist, sojourn_hist;
   std::vector<std::size_t> completions;
   bool warm = false;
   double now = 0.0;
@@ -213,7 +218,10 @@ struct Sim {
       queue[cls].pop_front();
     }
     if (!job.started) {
-      if (warm) wait_stat[cls].push(now - job.class_arrival);
+      if (warm) {
+        wait_stat[cls].push(now - job.class_arrival);
+        wait_hist.record(now - job.class_arrival);
+      }
       job.started = true;
     }
     STOSCHED_TIME_START(mg1_sampling);
@@ -281,6 +289,7 @@ struct Sim {
     if (warm) {
       ++completions[cls];
       sojourn_stat[cls].push(now - cur_job.class_arrival);
+      sojourn_hist.record(now - cur_job.class_arrival);
     }
     set_count(cls, -1);
 
@@ -332,6 +341,8 @@ struct Sim {
       out.cost_rate += classes[j].holding_cost * s.mean_in_system;
     }
     out.utilization = busy_ta.finish(t_end);
+    obs::wait_time_histogram().merge(wait_hist);
+    obs::sojourn_time_histogram().merge(sojourn_hist);
     return out;
   }
 
@@ -347,6 +358,7 @@ struct Sim {
 SimResult simulate_mg1(const std::vector<ClassSpec>& classes,
                        const SimOptions& options, Rng& rng) {
   STOSCHED_EXPECTS(!classes.empty(), "simulate_mg1 needs at least one class");
+  STOSCHED_TRACE_SPAN("sim", "simulate_mg1");
   Sim sim(classes, options, rng);
   const SimResult res = sim.run();
   // A single server's busy fraction is a time average of an indicator.

@@ -4,6 +4,8 @@
 
 #include "des/event_queue.hpp"
 #include "des/fifo_arena.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
 #include "util/timestat.hpp"
@@ -99,6 +101,7 @@ NetworkTrace simulate_network(const NetworkConfig& config, double horizon,
                               std::size_t samples, Rng& rng) {
   config.validate();
   STOSCHED_REQUIRE(horizon > 0.0 && samples >= 2, "need a horizon and samples");
+  STOSCHED_TRACE_SPAN("sim", "simulate_network");
   const std::size_t nc = config.classes.size();
   const std::size_t ns = config.num_stations;
   const bool fcfs = config.station_priority.empty();
@@ -154,6 +157,7 @@ NetworkTrace simulate_network(const NetworkConfig& config, double horizon,
   TimeAverage total_ta;
   total_ta.observe(0.0, 0.0);
   double now = 0.0;
+  obs::LocalHistogram wait_hist;  // queueing delays, merged once at the end
 
   auto start_if_idle = [&](std::size_t st) {
     if (busy[st]) return;
@@ -173,6 +177,7 @@ NetworkTrace simulate_network(const NetworkConfig& config, double horizon,
     }
     if (pick == SIZE_MAX) return;
     STOSCHED_ASSERT(!queue[pick].empty(), "station FIFO out of sync");
+    wait_hist.record(now - queue[pick].front());  // queued-at timestamp
     queue[pick].pop_front();
     busy[st] = 1;
     serving[st] = pick;
@@ -247,6 +252,7 @@ NetworkTrace simulate_network(const NetworkConfig& config, double horizon,
 
   trace.mean_total = total_ta.finish(horizon);
   trace.final_total = trace.total_jobs.empty() ? 0.0 : trace.total_jobs.back();
+  obs::wait_time_histogram().merge(wait_hist);
 
   // Least-squares slope of the sampled totals.
   const std::size_t m = trace.times.size();

@@ -5,6 +5,8 @@
 
 #include "des/event_queue.hpp"
 #include "des/fifo_arena.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "queueing/mg1_analytic.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
@@ -34,6 +36,7 @@ MmmResult simulate_mmm(const std::vector<ClassSpec>& classes,
   STOSCHED_REQUIRE(priority.size() == n, "priority must cover all classes");
   STOSCHED_REQUIRE(horizon > 0.0, "horizon must be > 0");
   STOSCHED_REQUIRE(warmup >= 0.0, "warmup must be >= 0");
+  STOSCHED_TRACE_SPAN("sim", "simulate_mmm");
 
   // An out-of-range entry would write rank[] out of bounds; a duplicate
   // would silently leave some class with a stale rank. Require a
@@ -87,6 +90,7 @@ MmmResult simulate_mmm(const std::vector<ClassSpec>& classes,
   unsigned busy = 0;
   double now = 0.0;
   bool warm = false;
+  obs::LocalHistogram wait_hist;  // post-warmup waits, merged once at the end
 
   for (std::size_t j = 0; j < n; ++j) count_ta[j].observe(0.0, 0.0);
   busy_ta.observe(0.0, 0.0);
@@ -107,7 +111,9 @@ MmmResult simulate_mmm(const std::vector<ClassSpec>& classes,
         if (best == SIZE_MAX || rank[j] < rank[best]) best = j;
       }
       if (best == SIZE_MAX) break;
+      const double arrived = queue[best].front();
       queue[best].pop_front();
+      if (warm) wait_hist.record(now - arrived);
       ++busy;
       busy_ta.observe(now, static_cast<double>(busy));
       STOSCHED_TIME_START(mmm_sampling);
@@ -174,6 +180,7 @@ MmmResult simulate_mmm(const std::vector<ClassSpec>& classes,
     out.cost_rate += classes[j].holding_cost * out.mean_in_system[j];
   }
   out.utilization = busy_ta.finish(t_end) / servers;
+  obs::wait_time_histogram().merge(wait_hist);
   return out;
 }
 

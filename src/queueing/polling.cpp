@@ -5,6 +5,8 @@
 
 #include "des/event_queue.hpp"
 #include "des/fifo_arena.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/contract.hpp"
 #include "util/stats.hpp"
@@ -61,6 +63,7 @@ struct PollingSim {
   std::size_t served_this_visit = 0;
   double now = 0.0;
   bool warm = false;
+  obs::LocalHistogram wait_hist;  // post-warmup waits, merged once per run
 
   PollingSim(const std::vector<ClassSpec>& c, const PollingOptions& o, Rng& r)
       : classes(c), opt(o), n(c.size()) {
@@ -135,7 +138,9 @@ struct PollingSim {
   void start_service() {
     const std::size_t q = at;
     STOSCHED_ASSERT(!queue[q].empty(), "serving an empty queue");
+    const double arrived = queue[q].front();
     queue[q].pop_front();
+    if (warm) wait_hist.record(now - arrived);
     set_state(ServerState::kServing);
     ++served_this_visit;
     if (gate > 0) --gate;
@@ -272,6 +277,7 @@ struct PollingSim {
     }
     out.switching_fraction = switch_ta.finish(t_end);
     out.serving_fraction = serve_ta.finish(t_end);
+    obs::wait_time_histogram().merge(wait_hist);
     return out;
   }
 };
@@ -282,6 +288,7 @@ PollingResult simulate_polling(const std::vector<ClassSpec>& classes,
                                const PollingOptions& options, Rng& rng) {
   STOSCHED_EXPECTS(!classes.empty(),
                    "simulate_polling needs at least one queue");
+  STOSCHED_TRACE_SPAN("sim", "simulate_polling");
   PollingSim sim(classes, options, rng);
   const PollingResult res = sim.run();
   // The server partitions time into serving / switching / idle, so the two

@@ -1,0 +1,21 @@
+// Deliberately-bad fixture for the `metrics-registry` lint rule
+// (tools/lint_stosched.py): bespoke file-scope std::atomic telemetry of the
+// kind the obs registry replaced. The <atomic> include and the atomic
+// declarations are distinct findings; tools/test_lint_stosched.py copies
+// this file into src/des/ (fires) and into src/obs/ and src/util/ (exempt).
+#include <atomic>
+#include <cstdint>
+
+namespace stosched {
+
+// A shadow event counter: invisible to bench_common::finish, invisible to
+// the OMP 1-vs-8 determinism gate — exactly what the rule forbids.
+std::atomic<std::uint64_t> g_shadow_events{0};
+std::atomic<std::uint64_t> g_shadow_retries{0};
+
+void bump_shadow_telemetry() {
+  g_shadow_events.fetch_add(1, std::memory_order_relaxed);
+  g_shadow_retries.fetch_add(2, std::memory_order_relaxed);
+}
+
+}  // namespace stosched

@@ -10,7 +10,11 @@ the same bench at two commits — and reports:
   * wall-clock drift beyond a threshold (reported, not fatal by default;
     --fail-on-slowdown makes it fatal);
   * numeric cell drift beyond a relative threshold, keyed by row label and
-    column name.
+    column name;
+  * mismatched run provenance (compiler, flags, build type, sanitizers,
+    OMP thread count, scenario hash — the "provenance" block stamped by
+    bench_common::finish): warn-only annotations flagging the comparison as
+    apples-to-oranges. Files from before the block existed are tolerated.
 
 Files carry an "arrival" block (process kind + burstiness) describing the
 traffic configuration the bench ran under; two files with *different*
@@ -24,7 +28,10 @@ difference is fatal (exit 1). Wall-clock is ignored — it is the one field
 allowed to vary. This is the thread-count determinism gate: the same bench
 run under OMP_NUM_THREADS=1 and =8 must produce byte-equal metrics, because
 the engine's fixed 16-replication merge cells make results a pure function
-of (seed, replication count).
+of (seed, replication count). The deterministic-histogram tail keys
+(wait_count/p50/p90/p99/p999, sojourn_*) join the gate when both files
+carry them; the provenance block is excluded (thread counts legitimately
+differ across the gate's two legs).
 
 Usage:
   bench_compare.py OLD.json NEW.json [--rel-tol 0.05] [--time-tol 0.25]
@@ -91,6 +98,31 @@ def compare_cells(old, new, rel_tol):
                 yield label, cols[c], a, b, drift
 
 
+# Provenance facts whose mismatch makes a perf diff apples-to-oranges.
+# Warn-only: the numbers are still shown, but every wall-clock / throughput
+# line below them is suspect when one of these differs.
+PROVENANCE_KEYS = ("compiler", "flags", "build_type", "sanitizers",
+                   "contracts", "trace", "time_stats", "omp_max_threads")
+
+
+def compare_provenance(old, new):
+    """Warning lines for mismatched build/run provenance (empty when
+    matching or when either file predates the provenance block)."""
+    p_old, p_new = old.get("provenance"), new.get("provenance")
+    if not isinstance(p_old, dict) or not isinstance(p_new, dict):
+        return []
+    warnings = []
+    for key in PROVENANCE_KEYS:
+        if key in p_old and key in p_new and p_old[key] != p_new[key]:
+            warnings.append(f"{key}: {p_old[key]!r} != {p_new[key]!r}")
+    if "scenario_hash" in p_old and "scenario_hash" in p_new \
+            and p_old["scenario_hash"] != p_new["scenario_hash"]:
+        warnings.append(f"scenario_hash: {p_old['scenario_hash']!r} != "
+                        f"{p_new['scenario_hash']!r} (the bench table/"
+                        f"traffic definition itself changed)")
+    return warnings
+
+
 def compare_exact(old, new):
     """Byte-equality over everything except wall_seconds; the list of
     mismatch descriptions is empty iff the two runs are bit-identical."""
@@ -113,6 +145,19 @@ def compare_exact(old, new):
     for key in ("lp_solves", "lp_iterations"):
         if key in old and key in new and old[key] != new[key]:
             problems.append(f"'{key}' differs: {old[key]!r} != {new[key]!r}")
+    # Latency-tail percentiles come from the obs registry's deterministic
+    # log2-bucketed histograms: bucket counts are commutative relaxed-atomic
+    # sums and percentiles are bucket edges, so they are bit-identical across
+    # thread schedules and belong in the gate (both-present, like the
+    # counters above — old JSONs simply lack the keys). The "provenance"
+    # block stays OUT of --exact: the determinism gate compares runs under
+    # different OMP thread counts, so provenance legitimately differs.
+    for prefix in ("wait", "sojourn"):
+        for suffix in ("count", "p50", "p90", "p99", "p999"):
+            key = f"{prefix}_{suffix}"
+            if key in old and key in new and old[key] != new[key]:
+                problems.append(f"'{key}' differs: {old[key]!r} "
+                                f"!= {new[key]!r}")
     if old["verdicts"] != new["verdicts"]:
         problems.append(f"verdicts differ: {old['verdicts']!r} "
                         f"!= {new['verdicts']!r}")
@@ -176,6 +221,9 @@ def main():
 
     failed = False
     print(f"bench: {new['bench']}")
+
+    for line in compare_provenance(old, new):
+        print(f"  PROVENANCE MISMATCH (apples-to-oranges)  {line}")
 
     regressions, fixes, changes = compare_verdicts(old, new)
     for line in regressions:

@@ -10,6 +10,8 @@ Each line is a compact summary of one (commit, bench) pair:
 
   {"commit": ..., "bench": ..., "wall_seconds": ..., "passed": ...,
    "arrival": {...}, "verdicts": {what: pass, ...},
+   "wait_p50": ..., "wait_p99": ..., "sojourn_p99": ...,   (obs tails;
+   None for rows written before the observability layer existed)
    "metrics": {column: [numeric cells in row order], ...}}
 
 Only numeric cells are kept (label columns are dropped), so a metric's
@@ -80,6 +82,18 @@ def summarize(doc, commit):
         "lp_solves": doc.get("lp_solves"),
         "lp_iterations": doc.get("lp_iterations"),
         "lp_solves_per_sec": doc.get("lp_solves_per_sec"),
+        # Deterministic latency-tail percentiles (obs histograms); absent
+        # in pre-observability bench JSONs, recorded as None.
+        "wait_count": doc.get("wait_count"),
+        "wait_p50": doc.get("wait_p50"),
+        "wait_p90": doc.get("wait_p90"),
+        "wait_p99": doc.get("wait_p99"),
+        "wait_p999": doc.get("wait_p999"),
+        "sojourn_count": doc.get("sojourn_count"),
+        "sojourn_p50": doc.get("sojourn_p50"),
+        "sojourn_p90": doc.get("sojourn_p90"),
+        "sojourn_p99": doc.get("sojourn_p99"),
+        "sojourn_p999": doc.get("sojourn_p999"),
         "passed": doc.get("passed"),
         "arrival": doc.get("arrival"),
         "verdicts": {v["what"]: v["pass"] for v in doc["verdicts"]},
@@ -130,11 +144,15 @@ def show_summary(history_path, tail):
             lp_s = (f"{lp:,.0f} lp/s"
                     if isinstance(lp, (int, float)) and lp > 0
                     else "-")  # benches that solve no LPs have no rate
+            p99 = ln.get("wait_p99")
+            p99_s = (f"p99 {p99:.4g}"
+                     if isinstance(p99, (int, float))
+                     else "-")  # pre-observability lines have no tails
             verdicts = ln.get("verdicts", {})
             failed = [w for w, ok in verdicts.items() if not ok]
             status = "PASS" if not failed else f"FAIL({len(failed)})"
             print(f"  {commit}  wall {wall_s:>9}  {rate_s:>16}  {lp_s:>12}  "
-                  f"{status}")
+                  f"{p99_s:>12}  {status}")
 
 
 def main():

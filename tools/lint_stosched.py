@@ -34,6 +34,11 @@ Enforces the invariants the codebase relies on but no compiler checks:
   cmake-coverage        Every src/**/*.cpp is listed in the CMake library
                         sources and every tests/test_*.cpp in STOSCHED_TESTS
                         — an unlisted translation unit silently never builds.
+  metrics-registry      No bespoke std::atomic telemetry in src/ outside
+                        src/obs/ and src/util/: counters and histograms flow
+                        through the obs registry so bench_common::finish can
+                        export every instrument generically and the OMP 1-vs-8
+                        determinism gate sees all of them.
 
 Usage:
   lint_stosched.py [--root DIR] [--rules raw-random,bench-finish,...]
@@ -402,6 +407,33 @@ def rule_cmake_coverage(root):
     return out
 
 
+METRICS_REGISTRY_PATTERNS = [
+    (re.compile(r"#\s*include\s*<atomic>"), "includes <atomic>"),
+    (re.compile(r"\bstd\s*::\s*atomic\b"), "declares a std::atomic"),
+]
+
+
+def rule_metrics_registry(root):
+    """No bespoke std::atomic telemetry outside src/obs/ and src/util/."""
+    out = []
+    for path in cxx_files(root, "src"):
+        parents = path.parents
+        if (root / "src" / "obs") in parents or \
+           (root / "src" / "util") in parents:
+            continue  # the registry itself and the low-level substrate
+        code = strip_code(read(path))
+        for pat, what in METRICS_REGISTRY_PATTERNS:
+            for m in pat.finditer(code):
+                out.append(Violation(
+                    rel(root, path), line_of(code, m.start()),
+                    "metrics-registry",
+                    f"{what} — telemetry goes through the obs registry "
+                    f"(obs::counter/gauge/histogram), not ad-hoc atomics: "
+                    f"the registry is what bench JSON export and the "
+                    f"determinism gate see"))
+    return out
+
+
 RULES = {
     "raw-random": rule_raw_random,
     "substream-discipline": rule_substream_discipline,
@@ -410,6 +442,7 @@ RULES = {
     "float-accumulator": rule_float_accumulator,
     "hot-loop-clock": rule_hot_loop_clock,
     "cmake-coverage": rule_cmake_coverage,
+    "metrics-registry": rule_metrics_registry,
 }
 
 

@@ -184,6 +184,24 @@ class RuleFiresOnFixture(unittest.TestCase):
         self.assertEqual(self.run_rule("cmake-coverage"), [],
                          "the listed skeleton source is covered")
 
+    def test_metrics_registry_fires(self):
+        self.skel.add("atomic_telemetry.cpp", "src/des/atomic_telemetry.cpp")
+        found = self.run_rule("metrics-registry")
+        msgs = " ".join(v.message for v in found)
+        self.assertGreaterEqual(len(found), 2,
+                                "<atomic> include AND the std::atomic "
+                                "declarations are distinct findings")
+        self.assertTrue(all(v.rule == "metrics-registry" for v in found))
+        self.assertIn("obs registry", msgs)
+
+    def test_metrics_registry_exempts_obs_and_util(self):
+        # The registry's own implementation and the low-level substrate are
+        # where the atomics are SUPPOSED to live.
+        self.skel.add("atomic_telemetry.cpp", "src/obs/metrics_impl.cpp")
+        self.skel.add("atomic_telemetry.cpp", "src/util/substrate.cpp")
+        self.assertEqual(self.run_rule("metrics-registry"), [],
+                         "src/obs/ and src/util/ own the atomics")
+
 
 class StripCodeLexer(unittest.TestCase):
     """strip_code must survive the literal forms that once blanked to EOF
@@ -257,6 +275,7 @@ class RealTreeIsClean(unittest.TestCase):
             "float-accumulator": "float_accumulator.cpp",
             "hot-loop-clock": "hot_loop_clock.cpp",
             "cmake-coverage": "unlisted_source.cpp",
+            "metrics-registry": "atomic_telemetry.cpp",
         }
         self.assertEqual(set(expected), set(lint.RULES),
                          "rules and fixture map must stay in sync")

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""trace_check.py — validate a Chrome trace_event JSON file.
+
+The obs tracing layer (src/obs/trace.hpp, armed via -DSTOSCHED_TRACE=ON and
+STOSCHED_TRACE_FILE=<path>) emits the JSON Array Format of the Chrome
+trace_event spec so Perfetto / chrome://tracing can load it directly. The CI
+trace-smoke job runs a bench with tracing armed and pushes the artifact
+through this script, which fails loudly if the emitter ever drifts from the
+spec:
+
+  * the file parses as JSON and is either an array of events or an object
+    with a "traceEvents" array;
+  * every event carries a string "name", a known one-char "ph" phase, a
+    finite non-negative numeric "ts" (microseconds), and integer "pid"/"tid";
+  * complete events (ph "X") carry a finite non-negative "dur";
+  * counter events (ph "C") carry an "args" object with numeric values;
+  * instant events (ph "i") carry a scope "s" in {"g", "p", "t"} when present.
+
+Usage:
+  trace_check.py TRACE.json [--min-events N]
+
+Exit 0 when valid (prints a one-line summary), 1 on any violation, 2 on a
+missing/unreadable file. Stdlib only.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+# Phases from the trace_event format doc; the obs emitter uses X, i and C,
+# but a valid artifact may legitimately contain others (metadata "M" etc.).
+KNOWN_PHASES = set("BEXiICsnftPNODMVvRabce(),")
+
+INSTANT_SCOPES = {"g", "p", "t"}
+
+
+def fail(msg):
+    print(f"trace_check: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def is_finite_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool) \
+        and math.isfinite(v)
+
+
+def check_event(i, ev):
+    """All violations in event #i (list of strings)."""
+    errs = []
+    if not isinstance(ev, dict):
+        return [f"event {i}: not a JSON object"]
+    name = ev.get("name")
+    if not isinstance(name, str) or not name:
+        errs.append(f"event {i}: missing/empty string 'name'")
+    ph = ev.get("ph")
+    if not isinstance(ph, str) or len(ph) != 1 or ph not in KNOWN_PHASES:
+        errs.append(f"event {i} ({name!r}): bad phase {ph!r}")
+        ph = None
+    ts = ev.get("ts")
+    if not is_finite_number(ts) or ts < 0:
+        errs.append(f"event {i} ({name!r}): 'ts' must be a finite "
+                    f"non-negative number, got {ts!r}")
+    for key in ("pid", "tid"):
+        v = ev.get(key)
+        if not isinstance(v, int) or isinstance(v, bool):
+            errs.append(f"event {i} ({name!r}): '{key}' must be an integer, "
+                        f"got {v!r}")
+    if ph == "X":
+        dur = ev.get("dur")
+        if not is_finite_number(dur) or dur < 0:
+            errs.append(f"event {i} ({name!r}): complete event needs a "
+                        f"finite non-negative 'dur', got {dur!r}")
+    if ph == "C":
+        args = ev.get("args")
+        if not isinstance(args, dict) or not args:
+            errs.append(f"event {i} ({name!r}): counter event needs a "
+                        f"non-empty 'args' object")
+        else:
+            for k, v in args.items():
+                if not is_finite_number(v):
+                    errs.append(f"event {i} ({name!r}): counter series "
+                                f"{k!r} must be numeric, got {v!r}")
+    if ph == "i" and "s" in ev and ev["s"] not in INSTANT_SCOPES:
+        errs.append(f"event {i} ({name!r}): instant scope 's' must be one "
+                    f"of g/p/t, got {ev['s']!r}")
+    return errs
+
+
+def check_trace(doc, min_events):
+    if isinstance(doc, dict):
+        events = doc.get("traceEvents")
+        if not isinstance(events, list):
+            return ["object form must carry a 'traceEvents' array"]
+    elif isinstance(doc, list):
+        events = doc
+    else:
+        return ["top level must be an array or an object with 'traceEvents'"]
+
+    errs = []
+    phases = {}
+    tids = set()
+    for i, ev in enumerate(events):
+        errs.extend(check_event(i, ev))
+        if isinstance(ev, dict):
+            phases[ev.get("ph")] = phases.get(ev.get("ph"), 0) + 1
+            tids.add(ev.get("tid"))
+    if len(events) < min_events:
+        errs.append(f"expected at least {min_events} events, got "
+                    f"{len(events)}")
+    if not errs:
+        counts = ", ".join(f"{p}:{c}" for p, c in sorted(phases.items()))
+        print(f"trace_check: OK — {len(events)} events "
+              f"({counts or 'empty'}) across {len(tids)} thread lane(s)")
+    return errs
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="Chrome trace_event JSON file")
+    ap.add_argument("--min-events", type=int, default=1,
+                    help="fail unless the trace has at least N events "
+                         "(default 1; 0 accepts an empty trace)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        print(f"trace_check: cannot read {args.trace}: {e}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as e:
+        return fail(f"{args.trace} is not valid JSON: {e}")
+
+    errs = check_trace(doc, args.min_events)
+    for e in errs:
+        print(f"trace_check: {e}", file=sys.stderr)
+    return 1 if errs else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
